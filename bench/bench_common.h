@@ -1,0 +1,118 @@
+// Shared experiment drivers for the figure/table benches.
+//
+// Dataset scales: the paper's graphs are scaled down (DESIGN.md) so a
+// single-core CI box finishes the full suite in minutes. The published
+// size ratios between s/m/l are preserved.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "bench_util/harness.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr::bench {
+
+// Scale factors for the named datasets (1.0 = published size).
+inline constexpr double kLocalGraphScale = 1.0;   // DBLP (Fig. 4): full published size
+// Figs. 5-7 run the bigger webgraphs at 30% size with the cost model scaled
+// to match (CostModel::scaled_for_data) so the suite stays fast on one core.
+inline constexpr double kMediumGraphScale = 0.3;
+inline constexpr double kMediumDataScale = 1.0 / kMediumGraphScale;
+inline constexpr double kSyntheticScale = 0.005;  // sssp-s/m/l, pagerank-s/m/l
+inline constexpr double kSyntheticDataScale = 1.0 / kSyntheticScale;
+inline constexpr uint64_t kSeed = 20110516;       // IPDPS 2011 workshop week
+
+// The four configurations of Figs. 4–7.
+struct FourWay {
+  RunReport mr;        // chain of jobs + convergence-check job per iteration
+  RunReport imr_sync;  // persistent tasks, synchronous maps
+  RunReport imr;       // persistent tasks, asynchronous maps
+  int64_t mr_comm = 0;   // total remote bytes of the MapReduce run
+  int64_t imr_comm = 0;  // total remote bytes of the async iMapReduce run
+};
+
+// Runs SSSP in all configurations for `iters` fixed iterations.
+// `with_check_job` adds the paper's per-iteration convergence-check job to
+// the baseline (used by the local-cluster figures).
+inline FourWay run_sssp_fourway(Cluster& cluster, const Graph& g,
+                                const std::string& base, int iters,
+                                bool with_check_job) {
+  FourWay out;
+  Sssp::setup(cluster, g, 0, base);
+
+  cluster.metrics().reset();
+  IterativeDriver driver(cluster);
+  // threshold 0 never triggers (distances are >= 0), so the check job runs
+  // every iteration without stopping the fixed-length run.
+  out.mr = driver.run(Sssp::baseline(base, base + "/work", iters,
+                                     with_check_job ? 0.0 : -1.0));
+  out.mr_comm = cluster.metrics().total_remote_bytes();
+
+  IterativeEngine engine(cluster);
+  IterJobConf sync_conf = Sssp::imapreduce(base, base + "/out_sync", iters);
+  sync_conf.async_maps = false;
+  cluster.metrics().reset();
+  out.imr_sync = engine.run(sync_conf);
+
+  cluster.metrics().reset();
+  out.imr = engine.run(Sssp::imapreduce(base, base + "/out", iters));
+  out.imr_comm = cluster.metrics().total_remote_bytes();
+  return out;
+}
+
+inline FourWay run_pagerank_fourway(Cluster& cluster, const Graph& g,
+                                    const std::string& base, int iters,
+                                    bool with_check_job) {
+  FourWay out;
+  PageRank::setup(cluster, g, base);
+
+  cluster.metrics().reset();
+  IterativeDriver driver(cluster);
+  out.mr = driver.run(PageRank::baseline(base, base + "/work", g.num_nodes(),
+                                         iters, with_check_job ? 0.0 : -1.0));
+  out.mr_comm = cluster.metrics().total_remote_bytes();
+
+  IterativeEngine engine(cluster);
+  IterJobConf sync_conf =
+      PageRank::imapreduce(base, base + "/out_sync", g.num_nodes(), iters);
+  sync_conf.async_maps = false;
+  cluster.metrics().reset();
+  out.imr_sync = engine.run(sync_conf);
+
+  cluster.metrics().reset();
+  out.imr =
+      engine.run(PageRank::imapreduce(base, base + "/out", g.num_nodes(), iters));
+  out.imr_comm = cluster.metrics().total_remote_bytes();
+  return out;
+}
+
+// Prints the Figs. 4–7 style four-curve table plus the speedup summary.
+inline void print_fourway(const FourWay& r) {
+  print_series({series_of("MapReduce", r.mr),
+                series_ex_init("MapReduce (ex. init.)", r.mr),
+                series_of("iMapReduce (sync.)", r.imr_sync),
+                series_of("iMapReduce", r.imr)});
+  note("speedup iMapReduce vs MapReduce: " +
+       fmt_ratio(r.mr.total_wall_ms, r.imr.total_wall_ms));
+  note("init savings:        " +
+       fmt_pct(r.mr.init_wall_ms, r.mr.total_wall_ms) + " of baseline time");
+  note("async map savings:   " +
+       fmt_pct(r.imr_sync.total_wall_ms - r.imr.total_wall_ms,
+               r.mr.total_wall_ms) +
+       " of baseline time");
+}
+
+inline std::string dataset_line(const std::string& name, const Graph& g) {
+  return name + ": " + human_count(g.num_nodes()) + " nodes, " +
+         human_count(g.num_edges()) + " edges, " +
+         human_bytes(g.file_bytes());
+}
+
+}  // namespace imr::bench

@@ -1,0 +1,34 @@
+// Figure 12: speedup over the Hadoop implementation for SSSP when scaling
+// the cluster from 20 to 80 instances (sssp-l, 10 iterations).
+#include "bench/bench_common.h"
+#include "metrics/table.h"
+
+using namespace imr;
+using namespace imr::bench;
+
+int main() {
+  banner("Figure 12", "SSSP scaling: cluster size 20 -> 50 -> 80");
+  Graph g = make_sssp_graph("sssp-l", kSyntheticScale, kSeed);
+  note(dataset_line("sssp-l", g));
+
+  TextTable table({"instances", "MapReduce (s)", "iMapReduce (s)",
+                   "iMR/MR ratio"});
+  double first_ratio = 0, last_ratio = 0;
+  for (int n : {20, 50, 80}) {
+    Cluster cluster(ec2_preset(n, kSyntheticDataScale));
+    FourWay r = run_sssp_fourway(cluster, g, "sssp_l", 10, true);
+    double ratio = r.imr.total_wall_ms / r.mr.total_wall_ms;
+    if (n == 20) first_ratio = ratio;
+    last_ratio = ratio;
+    table.add_row({std::to_string(n), fmt_double(r.mr.total_wall_ms / 1e3, 1),
+                   fmt_double(r.imr.total_wall_ms / 1e3, 1),
+                   fmt_pct(r.imr.total_wall_ms, r.mr.total_wall_ms)});
+  }
+  print_table(table);
+  expectation(
+      "the iMR/MR running time ratio improves by ~8% from 20 to 80 instances "
+      "(more network communication on bigger clusters => more advantage)",
+      "ratio change " + fmt_double(100 * (first_ratio - last_ratio), 1) +
+          " percentage points (20 -> 80)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 14: parallel efficiencies of iMapReduce and MapReduce for SSSP and
+// PageRank: T* / (T_n x n) for n in {20, 50, 80}, where T* is the
+// single-instance running time (partition number one, no communication).
+#include "bench/bench_common.h"
+#include "metrics/table.h"
+
+using namespace imr;
+using namespace imr::bench;
+
+namespace {
+
+struct EffRow {
+  int n;
+  double mr_eff;
+  double imr_eff;
+};
+
+template <typename RunFn>
+std::vector<EffRow> efficiencies(RunFn&& run) {
+  // T*: one instance, one task pair.
+  double mr_star, imr_star;
+  {
+    Cluster single(ec2_preset(1, kSyntheticDataScale));
+    FourWay r = run(single);
+    mr_star = r.mr.total_wall_ms;
+    imr_star = r.imr.total_wall_ms;
+  }
+  std::vector<EffRow> rows;
+  for (int n : {20, 50, 80}) {
+    Cluster cluster(ec2_preset(n, kSyntheticDataScale));
+    FourWay r = run(cluster);
+    rows.push_back(EffRow{n, mr_star / (r.mr.total_wall_ms * n),
+                          imr_star / (r.imr.total_wall_ms * n)});
+  }
+  return rows;
+}
+
+void print_eff(const char* workload, const std::vector<EffRow>& rows,
+               TextTable& table) {
+  for (const EffRow& r : rows) {
+    table.add_row({workload, std::to_string(r.n),
+                   fmt_double(r.mr_eff, 3), fmt_double(r.imr_eff, 3)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 14", "Parallel efficiency T*/(T_n x n)");
+
+  TextTable table({"workload", "instances", "MapReduce", "iMapReduce"});
+
+  {
+    Graph g = make_sssp_graph("sssp-l", kSyntheticScale, kSeed);
+    note(dataset_line("sssp-l", g));
+    auto rows = efficiencies([&](Cluster& cluster) {
+      return run_sssp_fourway(cluster, g, "sssp_l", 10, true);
+    });
+    print_eff("SSSP", rows, table);
+  }
+  {
+    Graph g = make_pagerank_graph("pagerank-l", kSyntheticScale, kSeed);
+    note(dataset_line("pagerank-l", g));
+    auto rows = efficiencies([&](Cluster& cluster) {
+      return run_pagerank_fourway(cluster, g, "pr_l", 10, true);
+    });
+    print_eff("PageRank", rows, table);
+  }
+  print_table(table);
+  expectation(
+      "iMapReduce yields higher parallel efficiency than MapReduce for both "
+      "workloads; at 80 instances the slowdown is ~60% for MapReduce vs ~43% "
+      "for iMapReduce (SSSP)",
+      "iMapReduce column should exceed the MapReduce column at every size");
+  return 0;
+}

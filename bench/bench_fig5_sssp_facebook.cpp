@@ -1,0 +1,20 @@
+// Figure 5: running time of SSSP on the Facebook user interaction graph
+// (local cluster, 16 iterations, four configurations).
+#include "bench/bench_common.h"
+
+using namespace imr;
+using namespace imr::bench;
+
+int main() {
+  banner("Figure 5", "SSSP running time on Facebook user interaction graph");
+  Graph g = make_sssp_graph("facebook", kMediumGraphScale, kSeed);
+  note(dataset_line("facebook (scaled)", g));
+
+  Cluster cluster(local_cluster_preset(kMediumDataScale));
+  FourWay r = run_sssp_fourway(cluster, g, "sssp_fb", /*iters=*/16,
+                               /*with_check_job=*/true);
+  print_fourway(r);
+  expectation("2-3x speedup over the Hadoop implementation",
+              fmt_ratio(r.mr.total_wall_ms, r.imr.total_wall_ms) + " speedup");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 7: running time of PageRank on the Berkeley-Stanford webgraph
+// (local cluster, 20 iterations, four configurations).
+#include "bench/bench_common.h"
+
+using namespace imr;
+using namespace imr::bench;
+
+int main() {
+  banner("Figure 7", "PageRank running time on Berkeley-Stanford webgraph");
+  Graph g = make_pagerank_graph("berkstan", kMediumGraphScale, kSeed);
+  note(dataset_line("berkstan (scaled)", g));
+
+  Cluster cluster(local_cluster_preset(kMediumDataScale));
+  FourWay r = run_pagerank_fourway(cluster, g, "pr_bs", /*iters=*/20,
+                                   /*with_check_job=*/true);
+  print_fourway(r);
+  expectation("~2x speedup over the Hadoop implementation",
+              fmt_ratio(r.mr.total_wall_ms, r.imr.total_wall_ms) + " speedup");
+  return 0;
+}

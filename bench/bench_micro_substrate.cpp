@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: codecs,
+// partitioning, sort/group, fabric send/receive, DFS round-trips.
+//
+// These measure REAL nanoseconds (not virtual time); they guard the
+// constant factors that the compute_scale calibration in the cost model
+// assumes.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "mapreduce/shuffle_util.h"
+
+namespace imr {
+namespace {
+
+void BM_EncodeF64(benchmark::State& state) {
+  Bytes out;
+  double v = 1.234567;
+  for (auto _ : state) {
+    out.clear();
+    encode_f64(v, out);
+    benchmark::DoNotOptimize(out);
+    v += 0.1;
+  }
+}
+BENCHMARK(BM_EncodeF64);
+
+void BM_DecodeWEdges(benchmark::State& state) {
+  std::vector<WEdge> edges;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    edges.push_back(WEdge{i * 7, 1.5 * i});
+  }
+  Bytes enc;
+  encode_wedges(edges, enc);
+  for (auto _ : state) {
+    auto decoded = decode_wedges(enc);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeWEdges)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Partition(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(u64_key(rng.next_u64()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_of(keys[i++ & 1023], 64));
+  }
+}
+BENCHMARK(BM_Partition);
+
+void BM_SortRecords(benchmark::State& state) {
+  Rng rng(2);
+  KVVec base;
+  for (int i = 0; i < state.range(0); ++i) {
+    base.emplace_back(u64_key(rng.next_u64()), f64_value(1.0));
+  }
+  for (auto _ : state) {
+    KVVec copy = base;
+    sort_records(copy, true);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortRecords)->Arg(1024)->Arg(16384);
+
+void BM_FabricSendReceive(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.cost = CostModel::free();
+  Cluster cluster(cfg);
+  auto ep = cluster.fabric().create_endpoint("bm", 0);
+  VClock sender, receiver;
+  KVVec payload;
+  for (int i = 0; i < state.range(0); ++i) {
+    payload.emplace_back(u32_key(static_cast<uint32_t>(i)), f64_value(1.0));
+  }
+  for (auto _ : state) {
+    NetMessage msg;
+    msg.records = payload;
+    cluster.fabric().send(1, sender, *ep, std::move(msg),
+                          TrafficCategory::kShuffle);
+    auto got = ep->receive(receiver);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FabricSendReceive)->Arg(1)->Arg(256);
+
+void BM_DfsWriteRead(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.cost = CostModel::free();
+  Cluster cluster(cfg);
+  KVVec records;
+  for (int i = 0; i < state.range(0); ++i) {
+    records.emplace_back(u32_key(static_cast<uint32_t>(i)), Bytes(64, 'x'));
+  }
+  for (auto _ : state) {
+    cluster.dfs().write_file("bm", records, 0, nullptr);
+    auto back = cluster.dfs().read_all("bm", 1, nullptr);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DfsWriteRead)->Arg(1024);
+
+}  // namespace
+}  // namespace imr
+
+BENCHMARK_MAIN();

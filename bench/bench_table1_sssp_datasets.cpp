@@ -1,0 +1,42 @@
+// Table 1: SSSP data sets statistics.
+//
+// Generates the five SSSP graphs (scaled stand-ins; see DESIGN.md) and prints
+// our actual statistics next to the published ones.
+#include "bench/bench_common.h"
+#include "metrics/table.h"
+
+using namespace imr;
+using namespace imr::bench;
+
+int main() {
+  banner("Table 1", "SSSP data sets statistics (scaled stand-ins)");
+
+  struct Row {
+    const char* name;
+    double scale;
+    const char* paper_nodes;
+    const char* paper_edges;
+    const char* paper_size;
+  };
+  const Row rows[] = {
+      {"dblp", kLocalGraphScale, "310,556", "1,518,617", "16 MB"},
+      {"facebook", kLocalGraphScale, "1,204,004", "5,430,303", "58 MB"},
+      {"sssp-s", kSyntheticScale, "1M", "7,868,140", "87 MB"},
+      {"sssp-m", kSyntheticScale, "10M", "78,873,968", "958 MB"},
+      {"sssp-l", kSyntheticScale, "50M", "369,455,293", "5.19 GB"},
+  };
+
+  TextTable table({"graph", "nodes", "edges", "file size", "paper nodes",
+                   "paper edges", "paper size"});
+  for (const Row& r : rows) {
+    Graph g = make_sssp_graph(r.name, r.scale, kSeed);
+    GraphStats s = stats_of(r.name, g);
+    table.add_row({s.name, human_count(s.nodes), human_count(s.edges),
+                   human_bytes(s.file_bytes), r.paper_nodes, r.paper_edges,
+                   r.paper_size});
+  }
+  print_table(table);
+  note("avg degree tracks the paper's log-normal parameters "
+       "(out-degree mu=1.5 sigma=1.0; weights mu=0.4 sigma=1.2)");
+  return 0;
+}

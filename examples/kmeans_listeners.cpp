@@ -1,0 +1,68 @@
+// K-means clustering of synthetic listener "taste vectors" (the paper's §5.1
+// Last.fm workload, substituted per DESIGN.md).
+//
+// Demonstrates the §5 extensions in one program:
+//   - one-to-all broadcast from reduce tasks to map tasks,
+//   - the map-side Combiner variant (§5.1.3),
+//   - the auxiliary map-reduce phase for convergence detection (§5.3):
+//     the job stops when fewer than a threshold of users switch cluster.
+#include <cstdio>
+
+#include "algorithms/kmeans.h"
+#include "bench_util/harness.h"
+#include "imapreduce/engine.h"
+
+using namespace imr;
+
+int main() {
+  KMeansDataSpec spec;
+  spec.num_points = 20000;  // listeners
+  spec.dim = 12;            // taste dimensions
+  spec.num_clusters = 8;    // genres
+  spec.spread = 0.08;
+  spec.seed = 2026;
+  auto points = KMeans::generate_points(spec);
+  std::printf("dataset: %u listeners, %d taste dimensions\n", spec.num_points,
+              spec.dim);
+
+  Cluster cluster(bench::local_cluster_preset(/*data_scale=*/18.0));
+  KMeans::setup(cluster, points, spec.num_clusters, "km");
+  IterativeEngine engine(cluster);
+
+  // Fixed 10 iterations, with and without a Combiner.
+  cluster.metrics().reset();
+  RunReport plain = engine.run(KMeans::imapreduce("km", "out1", 10));
+  int64_t plain_shuffle =
+      cluster.metrics().traffic_bytes(TrafficCategory::kShuffle);
+
+  cluster.metrics().reset();
+  RunReport combined = engine.run(
+      KMeans::imapreduce("km", "out2", 10, -1.0, /*with_combiner=*/true));
+  int64_t comb_shuffle =
+      cluster.metrics().traffic_bytes(TrafficCategory::kShuffle);
+
+  std::printf("\nwithout combiner: %.1f virtual s, shuffle %.1f MB\n",
+              plain.total_wall_ms / 1e3,
+              static_cast<double>(plain_shuffle) / 1e6);
+  std::printf("with combiner:    %.1f virtual s, shuffle %.1f MB (-%.0f%%)\n",
+              combined.total_wall_ms / 1e3,
+              static_cast<double>(comb_shuffle) / 1e6,
+              100.0 * (1.0 - static_cast<double>(comb_shuffle) /
+                                 static_cast<double>(plain_shuffle)));
+
+  // Auxiliary convergence detection: stop when < 20 listeners move.
+  cluster.metrics().reset();
+  RunReport aux = engine.run(
+      KMeans::imapreduce_with_aux("km", "out3", 40, /*move_threshold=*/20));
+  std::printf(
+      "\nauxiliary convergence detection: stopped after %d iterations "
+      "(converged=%s)\n",
+      aux.iterations_run, aux.converged ? "yes" : "no");
+
+  auto centroids = KMeans::read_result(cluster, "out3", false);
+  std::printf("final centroids: %zu clusters\n", centroids.size());
+  for (const auto& [cid, c] : centroids) {
+    std::printf("  cluster %u: (%.3f, %.3f, ...)\n", cid, c[0], c[1]);
+  }
+  return 0;
+}

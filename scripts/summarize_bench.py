@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Summarize a bench_output.txt into the EXPERIMENTS.md results digest.
+
+Usage: scripts/summarize_bench.py [bench_output.txt]
+
+Extracts, per bench binary: the banner line, every `expected (paper)` /
+`measured` pair, and the exit status — the material EXPERIMENTS.md records.
+"""
+import re
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    with open(path, errors="replace") as f:
+        text = f.read()
+
+    blocks = re.split(r"^##### (build/\S+)$", text, flags=re.M)
+    # blocks[0] is preamble; then alternating (name, body)
+    ok = True
+    for name, body in zip(blocks[1::2], blocks[2::2]):
+        short = name.split("/")[-1]
+        exit_m = re.search(r"^##### exit=(\d+)", body, flags=re.M)
+        code = exit_m.group(1) if exit_m else "?"
+        banner = ""
+        lines = body.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("====") and i + 1 < len(lines):
+                banner = lines[i + 1].strip()
+                break
+        print(f"\n## {short}  [exit={code}]")
+        if banner:
+            print(f"   {banner}")
+        if code not in ("0", "?"):
+            ok = False
+        for m in re.finditer(
+            r"^\s*expected \(paper\): (.*)$\n^\s*measured:\s+(.*)$",
+            body,
+            flags=re.M,
+        ):
+            print(f"   paper:    {m.group(1).strip()}")
+            print(f"   measured: {m.group(2).strip()}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

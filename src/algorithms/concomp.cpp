@@ -1,0 +1,231 @@
+#include "algorithms/concomp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "imapreduce/api.h"
+#include "mapreduce/engine.h"
+
+namespace imr {
+
+namespace {
+
+constexpr char kLabelTag = 'l';
+constexpr char kStructTag = 's';
+
+std::vector<std::vector<uint32_t>> symmetrized(const Graph& g) {
+  std::vector<std::vector<uint32_t>> adj(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (const WEdge& e : g.adj[u]) {
+      adj[u].push_back(e.dst);
+      adj[e.dst].push_back(u);
+    }
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return adj;
+}
+
+Bytes joined_value(uint32_t label, const std::vector<uint32_t>& adj) {
+  Bytes v;
+  encode_u32(label, v);
+  encode_adj(adj, v);
+  return v;
+}
+
+void decode_joined(BytesView v, uint32_t& label, std::vector<uint32_t>& adj) {
+  std::size_t pos = 0;
+  label = decode_u32(v, pos);
+  adj = decode_adj(v.substr(pos));
+}
+
+}  // namespace
+
+void ConComp::setup(Cluster& cluster, const Graph& g,
+                    const std::string& base) {
+  auto adj = symmetrized(g);
+  KVVec joined, stat, state;
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    Bytes key = u32_key(u);
+    joined.emplace_back(key, joined_value(u, adj[u]));
+    Bytes enc;
+    encode_adj(adj[u], enc);
+    stat.emplace_back(key, std::move(enc));
+    state.emplace_back(std::move(key), u32_key(u));
+  }
+  cluster.dfs().write_file(base + "/joined", std::move(joined), -1, nullptr);
+  cluster.dfs().write_file(base + "/static", std::move(stat), -1, nullptr);
+  cluster.dfs().write_file(base + "/state", std::move(state), -1, nullptr);
+}
+
+IterativeSpec ConComp::baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations, double threshold) {
+  IterativeSpec spec;
+  spec.name = "concomp";
+  spec.initial_input = base + "/joined";
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+
+  spec.set_body(
+      make_mapper([](const Bytes& key, const Bytes& value, Emitter& out) {
+        uint32_t label;
+        std::vector<uint32_t> adj;
+        decode_joined(value, label, adj);
+        for (uint32_t v : adj) {
+          Bytes enc;
+          enc.push_back(kLabelTag);
+          encode_u32(label, enc);
+          out.emit(u32_key(v), std::move(enc));
+        }
+        Bytes s;
+        s.push_back(kStructTag);
+        s.append(value);
+        out.emit(key, std::move(s));
+      }),
+      make_reducer([](const Bytes& key, const std::vector<Bytes>& values,
+                      Emitter& out) {
+        uint32_t best = UINT32_MAX;
+        std::vector<uint32_t> adj;
+        bool have_struct = false;
+        for (const Bytes& v : values) {
+          IMR_CHECK(!v.empty());
+          std::size_t pos = 1;
+          if (v[0] == kStructTag) {
+            uint32_t own;
+            decode_joined(BytesView(v).substr(1), own, adj);
+            best = std::min(best, own);
+            have_struct = true;
+          } else {
+            best = std::min(best, decode_u32(v, pos));
+          }
+        }
+        IMR_CHECK_MSG(have_struct, "node without structure record");
+        out.emit(key, joined_value(best, adj));
+      }));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    uint32_t lp = UINT32_MAX, lc = UINT32_MAX;
+    std::vector<uint32_t> unused;
+    if (!prev.empty()) decode_joined(prev, lp, unused);
+    if (!cur.empty()) decode_joined(cur, lc, unused);
+    return lp == lc ? 0.0 : 1.0;
+  };
+  return spec;
+}
+
+IterJobConf ConComp::imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations, double threshold) {
+  IterJobConf conf;
+  conf.name = "concomp";
+  conf.state_path = base + "/state";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+
+  PhaseConf phase;
+  phase.static_path = base + "/static";
+  phase.mapper = make_iter_mapper([](const Bytes& key, const Bytes& state,
+                                     const Bytes& stat, IterEmitter& out) {
+    uint32_t label = as_u32(state);
+    if (!stat.empty()) {
+      for (uint32_t v : decode_adj(stat)) {
+        out.emit(u32_key(v), u32_key(label));
+      }
+    }
+    out.emit(key, u32_key(label));
+  });
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        uint32_t best = UINT32_MAX;
+        for (const Bytes& v : values) best = std::min(best, as_u32(v));
+        out.emit(key, u32_key(best));
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        if (prev.empty()) return 1.0;
+        return as_u32(prev) == as_u32(cur) ? 0.0 : 1.0;
+      });
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<uint32_t> ConComp::reference(const Graph& g) {
+  // Union-find with path compression.
+  std::vector<uint32_t> parent(g.num_nodes());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (const WEdge& e : g.adj[u]) {
+      uint32_t a = find(u), b = find(e.dst);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<uint32_t> label(g.num_nodes());
+  // The fixpoint of min-label propagation is the minimum node id in each
+  // component; with min-union above, that is exactly the root.
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) label[u] = find(u);
+  return label;
+}
+
+std::vector<uint32_t> ConComp::reference_rounds(const Graph& g,
+                                                int iterations) {
+  auto adj = symmetrized(g);
+  std::vector<uint32_t> label(g.num_nodes());
+  std::iota(label.begin(), label.end(), 0);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<uint32_t> next = label;
+    for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+      for (uint32_t v : adj[u]) next[v] = std::min(next[v], label[u]);
+    }
+    label = std::move(next);
+  }
+  return label;
+}
+
+namespace {
+std::vector<uint32_t> read_labels(Cluster& cluster, const std::string& path,
+                                  uint32_t num_nodes, bool joined) {
+  std::vector<uint32_t> label(num_nodes, UINT32_MAX);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t u = as_u32(kv.key);
+      IMR_CHECK(u < num_nodes);
+      if (joined) {
+        uint32_t l;
+        std::vector<uint32_t> unused;
+        decode_joined(kv.value, l, unused);
+        label[u] = l;
+      } else {
+        label[u] = as_u32(kv.value);
+      }
+    }
+  }
+  return label;
+}
+}  // namespace
+
+std::vector<uint32_t> ConComp::read_result_imr(Cluster& cluster,
+                                               const std::string& output_path,
+                                               uint32_t num_nodes) {
+  return read_labels(cluster, output_path, num_nodes, /*joined=*/false);
+}
+
+std::vector<uint32_t> ConComp::read_result_mr(Cluster& cluster,
+                                              const std::string& output_path,
+                                              uint32_t num_nodes) {
+  return read_labels(cluster, output_path, num_nodes, /*joined=*/true);
+}
+
+}  // namespace imr

@@ -1,0 +1,49 @@
+// Connected components by minimum-label propagation — another of the
+// "large class of graph-based iterative algorithms" (§2.2) the framework
+// targets, structurally identical to SSSP (one2one, static adjacency,
+// monotone state) but with a different reduction (min over labels).
+//
+// State: per-node component label (initially the node id).
+// Static: undirected neighbor list (both edge directions present).
+// Map:    send own label to every neighbor; retain own label.
+// Reduce: min.
+// Distance: count of nodes whose label changed.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "graph/graph.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct ConComp {
+  // Writes <base>/joined, <base>/static, <base>/state. Edges are
+  // symmetrized: label propagation needs both directions.
+  static void setup(Cluster& cluster, const Graph& g, const std::string& base);
+
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations, double threshold = -1.0);
+
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations, double threshold = -1.0);
+
+  // Exact reference (union-find), the fixpoint of label propagation.
+  static std::vector<uint32_t> reference(const Graph& g);
+  // Synchronous label propagation for exactly `iterations` rounds.
+  static std::vector<uint32_t> reference_rounds(const Graph& g,
+                                                int iterations);
+
+  static std::vector<uint32_t> read_result_imr(Cluster& cluster,
+                                               const std::string& output_path,
+                                               uint32_t num_nodes);
+  static std::vector<uint32_t> read_result_mr(Cluster& cluster,
+                                              const std::string& output_path,
+                                              uint32_t num_nodes);
+};
+
+}  // namespace imr

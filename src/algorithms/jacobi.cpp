@@ -1,0 +1,202 @@
+#include "algorithms/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "imapreduce/api.h"
+#include "mapreduce/engine.h"
+
+namespace imr {
+
+namespace {
+
+Bytes encode_row(double b, double diag, const std::vector<WEdge>& off) {
+  Bytes v;
+  encode_f64(b, v);
+  encode_f64(diag, v);
+  encode_wedges(off, v);
+  return v;
+}
+
+void decode_row(BytesView v, double& b, double& diag,
+                std::vector<WEdge>& off) {
+  std::size_t pos = 0;
+  b = decode_f64(v, pos);
+  diag = decode_f64(v, pos);
+  off = decode_wedges(v.substr(pos));
+}
+
+// x lookup in the sorted broadcast state list.
+double x_at(const KVVec& states, uint32_t j) {
+  Bytes key = u32_key(j);
+  auto it = std::lower_bound(
+      states.begin(), states.end(), key,
+      [](const KV& kv, const Bytes& k) { return kv.key < k; });
+  if (it == states.end() || it->key != key) return 0.0;
+  return as_f64(it->value);
+}
+
+double jacobi_update(double b, double diag, const std::vector<WEdge>& off,
+                     const KVVec& states) {
+  double s = 0;
+  for (const WEdge& e : off) s += e.weight * x_at(states, e.dst);
+  return (b - s) / diag;
+}
+
+}  // namespace
+
+JacobiSystem Jacobi::generate(uint32_t n, double density, uint64_t seed) {
+  IMR_CHECK(n > 1 && density > 0 && density <= 1);
+  Rng rng(seed);
+  JacobiSystem sys;
+  sys.n = n;
+  sys.b.resize(n);
+  sys.diag.resize(n);
+  sys.off_diag.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    sys.b[i] = rng.uniform_real(-1.0, 1.0);
+    double row_sum = 0;
+    auto nnz = static_cast<uint32_t>(density * n);
+    for (uint32_t t = 0; t < nnz; ++t) {
+      auto j = static_cast<uint32_t>(rng.uniform(n));
+      if (j == i) continue;
+      double a = rng.uniform_real(-1.0, 1.0);
+      sys.off_diag[i].push_back(WEdge{j, a});
+      row_sum += std::abs(a);
+    }
+    std::sort(sys.off_diag[i].begin(), sys.off_diag[i].end(),
+              [](const WEdge& a, const WEdge& b) { return a.dst < b.dst; });
+    // Strict diagonal dominance guarantees convergence.
+    sys.diag[i] = row_sum + 1.0 + rng.uniform_real(0.0, 1.0);
+  }
+  return sys;
+}
+
+void Jacobi::setup(Cluster& cluster, const JacobiSystem& sys,
+                   const std::string& base) {
+  KVVec rows, x0;
+  rows.reserve(sys.n);
+  x0.reserve(sys.n);
+  for (uint32_t i = 0; i < sys.n; ++i) {
+    rows.emplace_back(u32_key(i),
+                      encode_row(sys.b[i], sys.diag[i], sys.off_diag[i]));
+    x0.emplace_back(u32_key(i), f64_value(0.0));
+  }
+  cluster.dfs().write_file(base + "/rows", std::move(rows), -1, nullptr);
+  cluster.dfs().write_file(base + "/x0", std::move(x0), -1, nullptr);
+}
+
+IterativeSpec Jacobi::baseline(const std::string& base,
+                               const std::string& work_dir, int max_iterations,
+                               double threshold) {
+  IterativeSpec spec;
+  spec.name = "jacobi";
+  spec.initial_input = base + "/rows";
+  spec.initial_state = base + "/x0";
+  spec.iterate_input = false;
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+
+  class JacobiBaselineMapper : public Mapper {
+   public:
+    void attach_cache(const KVVec& records) override { x_ = records; }
+    void map(const Bytes& key, const Bytes& value, Emitter& out) override {
+      double b, diag;
+      std::vector<WEdge> off;
+      decode_row(value, b, diag, off);
+      out.emit(key, f64_value(jacobi_update(b, diag, off, x_)));
+    }
+
+   private:
+    KVVec x_;
+  };
+
+  IterativeSpec::Stage stage;
+  stage.use_cache = true;
+  stage.mapper = [] { return std::make_unique<JacobiBaselineMapper>(); };
+  stage.reducer = make_reducer([](const Bytes& key,
+                                  const std::vector<Bytes>& values,
+                                  Emitter& out) {
+    IMR_CHECK(values.size() == 1);
+    out.emit(key, values[0]);
+  });
+  spec.stages.push_back(std::move(stage));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    double p = prev.empty() ? 0.0 : as_f64(prev);
+    double c = cur.empty() ? 0.0 : as_f64(cur);
+    return std::abs(p - c);
+  };
+  return spec;
+}
+
+IterJobConf Jacobi::imapreduce(const std::string& base,
+                               const std::string& output_path,
+                               int max_iterations, double threshold) {
+  IterJobConf conf;
+  conf.name = "jacobi";
+  conf.state_path = base + "/x0";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+  conf.async_maps = false;  // one2all
+
+  PhaseConf phase;
+  phase.mapping = Mapping::kOne2All;
+  phase.static_path = base + "/rows";
+  phase.mapper = make_iter_mapper_all([](const Bytes& key, const Bytes& stat,
+                                         const KVVec& states,
+                                         IterEmitter& out) {
+    double b, diag;
+    std::vector<WEdge> off;
+    decode_row(stat, b, diag, off);
+    out.emit(key, f64_value(jacobi_update(b, diag, off, states)));
+  });
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        IMR_CHECK(values.size() == 1);
+        out.emit(key, values[0]);
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        double p = prev.empty() ? 0.0 : as_f64(prev);
+        double c = cur.empty() ? 0.0 : as_f64(cur);
+        return std::abs(p - c);
+      });
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<double> Jacobi::reference(const JacobiSystem& sys,
+                                      int iterations) {
+  std::vector<double> x(sys.n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(sys.n);
+    for (uint32_t i = 0; i < sys.n; ++i) {
+      double s = 0;
+      for (const WEdge& e : sys.off_diag[i]) s += e.weight * x[e.dst];
+      next[i] = (sys.b[i] - s) / sys.diag[i];
+    }
+    x = std::move(next);
+  }
+  return x;
+}
+
+std::vector<double> Jacobi::read_result(Cluster& cluster,
+                                        const std::string& output_path,
+                                        uint32_t n) {
+  std::vector<double> x(n, 0.0);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), output_path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t i = as_u32(kv.key);
+      IMR_CHECK(i < n);
+      x[i] = as_f64(kv.value);
+    }
+  }
+  return x;
+}
+
+}  // namespace imr

@@ -1,0 +1,51 @@
+// Jacobi method for solving Ax = b (§5.1's broadcast example):
+//   x_i^(k+1) = (b_i - sum_{j != i} a_ij x_j^(k)) / a_ii
+//
+// Static: the matrix rows <i, (b_i, a_ii, [(j, a_ij)...])>, hash-partitioned
+// across map tasks. State: the solution vector entries <i, x_i>, broadcast
+// one-to-all from every reduce task (each mapper needs the whole x).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/codec.h"  // WEdge
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct JacobiSystem {
+  uint32_t n = 0;
+  std::vector<double> b;
+  std::vector<double> diag;
+  std::vector<std::vector<WEdge>> off_diag;  // (j, a_ij), j != i
+};
+
+struct Jacobi {
+  // Random diagonally-dominant sparse system.
+  static JacobiSystem generate(uint32_t n, double density, uint64_t seed);
+
+  // Writes <base>/rows (static) and <base>/x0 (state, all zeros).
+  static void setup(Cluster& cluster, const JacobiSystem& sys,
+                    const std::string& base);
+
+  // Chain-of-jobs baseline (x distributed via cache, rows re-read).
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations, double threshold = -1.0);
+
+  // iMapReduce one2all job.
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations, double threshold = -1.0);
+
+  static std::vector<double> reference(const JacobiSystem& sys,
+                                       int iterations);
+
+  static std::vector<double> read_result(Cluster& cluster,
+                                         const std::string& output_path,
+                                         uint32_t n);
+};
+
+}  // namespace imr

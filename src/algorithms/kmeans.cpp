@@ -1,0 +1,424 @@
+#include "algorithms/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "imapreduce/api.h"
+#include "mapreduce/engine.h"
+
+namespace imr {
+
+namespace {
+
+constexpr const char* kMoveThresholdParam = "kmeans.move_threshold";
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  IMR_CHECK(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// Nearest centroid; ties break to the lowest cluster id. `centroids` must be
+// ordered by ascending cid.
+uint32_t nearest(const std::vector<double>& p,
+                 const std::vector<std::pair<uint32_t, std::vector<double>>>&
+                     centroids) {
+  IMR_CHECK_MSG(!centroids.empty(), "no centroids");
+  uint32_t best = centroids[0].first;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [cid, c] : centroids) {
+    double d = sq_dist(p, c);
+    if (d < best_d) {
+      best_d = d;
+      best = cid;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<uint32_t, std::vector<double>>> decode_centroids(
+    const KVVec& records) {
+  std::vector<std::pair<uint32_t, std::vector<double>>> out;
+  out.reserve(records.size());
+  for (const KV& kv : records) {
+    std::size_t pos = 0;
+    out.emplace_back(as_u32(kv.key), decode_f64_vec(kv.value, pos));
+  }
+  // records are sorted by key upstream; keys are big-endian so this is
+  // ascending cid order already.
+  return out;
+}
+
+double centroid_distance(const Bytes& prev, const Bytes& cur) {
+  std::size_t pos = 0;
+  std::vector<double> a =
+      prev.empty() ? std::vector<double>{} : decode_f64_vec(prev, pos);
+  pos = 0;
+  std::vector<double> b =
+      cur.empty() ? std::vector<double>{} : decode_f64_vec(cur, pos);
+  if (a.size() != b.size()) return 1e18;  // appeared/disappeared: not converged
+  return std::sqrt(sq_dist(a, b));
+}
+
+}  // namespace
+
+Bytes KMeans::encode_partial(uint64_t count, const std::vector<double>& sum) {
+  Bytes v;
+  encode_varint(count, v);
+  encode_f64_vec(sum, v);
+  return v;
+}
+
+void KMeans::decode_partial(BytesView v, uint64_t& count,
+                            std::vector<double>& sum) {
+  std::size_t pos = 0;
+  count = decode_varint(v, pos);
+  sum = decode_f64_vec(v, pos);
+}
+
+std::vector<std::vector<double>> KMeans::generate_points(
+    const KMeansDataSpec& spec) {
+  Rng rng(spec.seed);
+  // Cluster means uniform in [0,1]^dim.
+  std::vector<std::vector<double>> means;
+  for (int c = 0; c < spec.num_clusters; ++c) {
+    std::vector<double> m(static_cast<std::size_t>(spec.dim));
+    for (double& x : m) x = rng.uniform_real(0.0, 1.0);
+    means.push_back(std::move(m));
+  }
+  std::vector<std::vector<double>> points;
+  points.reserve(spec.num_points);
+  for (uint32_t i = 0; i < spec.num_points; ++i) {
+    const auto& m = means[rng.uniform(static_cast<uint64_t>(spec.num_clusters))];
+    std::vector<double> p(static_cast<std::size_t>(spec.dim));
+    for (int d = 0; d < spec.dim; ++d) {
+      p[static_cast<std::size_t>(d)] =
+          m[static_cast<std::size_t>(d)] + rng.gaussian(0.0, spec.spread);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void KMeans::setup(Cluster& cluster,
+                   const std::vector<std::vector<double>>& points, int k,
+                   const std::string& base) {
+  IMR_CHECK(k > 0 && static_cast<std::size_t>(k) <= points.size());
+  KVVec point_recs;
+  point_recs.reserve(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    Bytes v;
+    encode_f64_vec(points[i], v);
+    point_recs.emplace_back(u32_key(i), std::move(v));
+  }
+  KVVec centroid_recs;
+  for (int c = 0; c < k; ++c) {
+    Bytes v;
+    encode_f64_vec(points[static_cast<std::size_t>(c)], v);
+    centroid_recs.emplace_back(u32_key(static_cast<uint32_t>(c)),
+                               std::move(v));
+  }
+  cluster.dfs().write_file(base + "/points", std::move(point_recs), -1,
+                           nullptr);
+  cluster.dfs().write_file(base + "/centroids0", std::move(centroid_recs), -1,
+                           nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class KMeansBaselineMapper : public Mapper {
+ public:
+  void attach_cache(const KVVec& records) override {
+    centroids_ = decode_centroids(records);
+  }
+  void map(const Bytes& /*key*/, const Bytes& value, Emitter& out) override {
+    std::size_t pos = 0;
+    std::vector<double> p = decode_f64_vec(value, pos);
+    uint32_t cid = nearest(p, centroids_);
+    out.emit(u32_key(cid), KMeans::encode_partial(1, p));
+  }
+
+ private:
+  std::vector<std::pair<uint32_t, std::vector<double>>> centroids_;
+};
+
+void sum_partials(const std::vector<Bytes>& values, uint64_t& count,
+                  std::vector<double>& sum) {
+  count = 0;
+  sum.clear();
+  for (const Bytes& v : values) {
+    uint64_t c;
+    std::vector<double> s;
+    KMeans::decode_partial(v, c, s);
+    count += c;
+    if (sum.empty()) {
+      sum = std::move(s);
+    } else {
+      IMR_CHECK(sum.size() == s.size());
+      for (std::size_t i = 0; i < s.size(); ++i) sum[i] += s[i];
+    }
+  }
+}
+
+}  // namespace
+
+IterativeSpec KMeans::baseline(const std::string& base,
+                               const std::string& work_dir,
+                               int max_iterations, double threshold,
+                               bool with_combiner) {
+  IterativeSpec spec;
+  spec.name = "kmeans";
+  spec.initial_input = base + "/points";
+  spec.initial_state = base + "/centroids0";
+  spec.iterate_input = false;  // points are re-read every job (§5.1: the
+                               // static data must be shuffled each iteration)
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+
+  IterativeSpec::Stage stage;
+  stage.use_cache = true;  // centroids via distributed cache
+  stage.mapper = [] { return std::make_unique<KMeansBaselineMapper>(); };
+  stage.reducer = make_reducer([](const Bytes& key,
+                                  const std::vector<Bytes>& values,
+                                  Emitter& out) {
+    uint64_t count;
+    std::vector<double> sum;
+    sum_partials(values, count, sum);
+    IMR_CHECK(count > 0);
+    for (double& x : sum) x /= static_cast<double>(count);
+    Bytes enc;
+    encode_f64_vec(sum, enc);
+    out.emit(key, std::move(enc));
+  });
+  if (with_combiner) {
+    stage.combiner = make_reducer([](const Bytes& key,
+                                     const std::vector<Bytes>& values,
+                                     Emitter& out) {
+      uint64_t count;
+      std::vector<double> sum;
+      sum_partials(values, count, sum);
+      out.emit(key, KMeans::encode_partial(count, sum));
+    });
+  }
+  spec.stages.push_back(std::move(stage));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    return centroid_distance(prev, cur);
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// iMapReduce
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One2all mapper: per point, with the full broadcast centroid list. Caches
+// the decoded centroid list per iteration (the engine passes the same state
+// list for every static record of an iteration).
+class KMeansIterMapper : public IterMapper {
+ public:
+  explicit KMeansIterMapper(bool emit_assignments)
+      : emit_assignments_(emit_assignments) {}
+
+  void map_all(const Bytes& key, const Bytes& stat, const KVVec& states,
+               IterEmitter& out) override {
+    if (states_seen_ != &states) {
+      centroids_ = decode_centroids(states);
+      states_seen_ = &states;
+    }
+    std::size_t pos = 0;
+    std::vector<double> p = decode_f64_vec(stat, pos);
+    uint32_t cid = nearest(p, centroids_);
+    out.emit(u32_key(cid), KMeans::encode_partial(1, p));
+    if (emit_assignments_) out.side(key, u32_key(cid));
+  }
+
+  void flush(IterEmitter& /*out*/) override { states_seen_ = nullptr; }
+
+ private:
+  bool emit_assignments_;
+  const KVVec* states_seen_ = nullptr;
+  std::vector<std::pair<uint32_t, std::vector<double>>> centroids_;
+};
+
+// Auxiliary convergence detector (§5.3.1): persistent mapper remembers the
+// previous assignment of every point it sees and counts stays.
+class KMeansAuxMapper : public IterMapper {
+ public:
+  void map(const Bytes& key, const Bytes& state, const Bytes& /*stat*/,
+           IterEmitter& /*out*/) override {
+    uint32_t uid = as_u32(key);
+    uint32_t cid = as_u32(state);
+    ++total_;
+    auto it = prev_.find(uid);
+    if (it != prev_.end() && it->second == cid) ++stay_;
+    prev_[uid] = cid;
+  }
+
+  void flush(IterEmitter& out) override {
+    // <0, num_stay>: a unique key so all aux mappers' outputs meet at one
+    // aux reducer (§5.3.1 Map 2).
+    out.emit(u32_key(0), KMeans::encode_partial(stay_, {static_cast<double>(total_)}));
+    stay_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> prev_;
+  uint64_t stay_ = 0;
+  uint64_t total_ = 0;
+};
+
+class KMeansAuxReducer : public IterReducer {
+ public:
+  void configure(const Params& params) override {
+    move_threshold_ = params.get_int(kMoveThresholdParam, 0);
+  }
+  void reduce(const Bytes& /*key*/, const std::vector<Bytes>& values,
+              IterEmitter& out) override {
+    uint64_t stay = 0;
+    uint64_t total = 0;
+    for (const Bytes& v : values) {
+      uint64_t s;
+      std::vector<double> t;
+      KMeans::decode_partial(v, s, t);
+      stay += s;
+      total += static_cast<uint64_t>(t.at(0));
+    }
+    auto moved = static_cast<int64_t>(total - stay);
+    if (total > 0 && moved < move_threshold_) {
+      out.emit(kTerminateSignalKey, u64_key(static_cast<uint64_t>(moved)));
+    }
+  }
+
+ private:
+  int64_t move_threshold_ = 0;
+};
+
+IterJobConf kmeans_imr_conf(const std::string& base,
+                            const std::string& output_path,
+                            int max_iterations, double threshold,
+                            bool with_combiner, bool emit_assignments) {
+  IterJobConf conf;
+  conf.name = "kmeans";
+  conf.state_path = base + "/centroids0";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+  conf.async_maps = false;  // §5.1.2: one2all requires synchronous maps
+
+  PhaseConf phase;
+  phase.mapping = Mapping::kOne2All;
+  phase.static_path = base + "/points";
+  phase.mapper = [emit_assignments] {
+    return std::make_unique<KMeansIterMapper>(emit_assignments);
+  };
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        uint64_t count;
+        std::vector<double> sum;
+        sum_partials(values, count, sum);
+        IMR_CHECK(count > 0);
+        for (double& x : sum) x /= static_cast<double>(count);
+        Bytes enc;
+        encode_f64_vec(sum, enc);
+        out.emit(key, std::move(enc));
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        return centroid_distance(prev, cur);
+      });
+  if (with_combiner) {
+    phase.combiner = make_iter_reducer(
+        [](const Bytes& key, const std::vector<Bytes>& values,
+           IterEmitter& out) {
+          uint64_t count;
+          std::vector<double> sum;
+          sum_partials(values, count, sum);
+          out.emit(key, KMeans::encode_partial(count, sum));
+        });
+  }
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+}  // namespace
+
+IterJobConf KMeans::imapreduce(const std::string& base,
+                               const std::string& output_path,
+                               int max_iterations, double threshold,
+                               bool with_combiner) {
+  return kmeans_imr_conf(base, output_path, max_iterations, threshold,
+                         with_combiner, /*emit_assignments=*/false);
+}
+
+IterJobConf KMeans::imapreduce_with_aux(const std::string& base,
+                                        const std::string& output_path,
+                                        int max_iterations,
+                                        int64_t move_threshold) {
+  IterJobConf conf = kmeans_imr_conf(base, output_path, max_iterations,
+                                     /*threshold=*/-1.0,
+                                     /*with_combiner=*/false,
+                                     /*emit_assignments=*/true);
+  AuxConf aux;
+  aux.source = AuxConf::Source::kMapSideOutput;
+  aux.mapper = [] { return std::make_unique<KMeansAuxMapper>(); };
+  aux.reducer = [] { return std::make_unique<KMeansAuxReducer>(); };
+  aux.num_reduce_tasks = 1;
+  conf.aux = std::move(aux);
+  conf.params.set_int(kMoveThresholdParam, move_threshold);
+  return conf;
+}
+
+std::map<uint32_t, std::vector<double>> KMeans::reference(
+    const std::vector<std::vector<double>>& points,
+    const std::map<uint32_t, std::vector<double>>& init_centroids,
+    int iterations) {
+  std::map<uint32_t, std::vector<double>> centroids = init_centroids;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<std::pair<uint32_t, std::vector<double>>> ordered(
+        centroids.begin(), centroids.end());
+    std::map<uint32_t, std::pair<uint64_t, std::vector<double>>> agg;
+    for (const auto& p : points) {
+      uint32_t cid = nearest(p, ordered);
+      auto& [count, sum] = agg[cid];
+      if (sum.empty()) sum.assign(p.size(), 0.0);
+      ++count;
+      for (std::size_t d = 0; d < p.size(); ++d) sum[d] += p[d];
+    }
+    centroids.clear();
+    for (auto& [cid, cs] : agg) {
+      for (double& x : cs.second) x /= static_cast<double>(cs.first);
+      centroids[cid] = std::move(cs.second);
+    }
+  }
+  return centroids;
+}
+
+std::map<uint32_t, std::vector<double>> KMeans::read_result(
+    Cluster& cluster, const std::string& output_path, bool /*joined_count*/) {
+  std::map<uint32_t, std::vector<double>> out;
+  for (const auto& part : resolve_input_paths(cluster.dfs(), output_path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      std::size_t pos = 0;
+      out[as_u32(kv.key)] = decode_f64_vec(kv.value, pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace imr

@@ -1,0 +1,83 @@
+// K-means clustering (§5.1).
+//
+// Static: the point coordinates, hash-partitioned across map tasks.
+// State:  the k cluster centroids — broadcast from every reduce task to every
+//         map task (one2all mapping), so map execution is synchronous.
+// Map:    assign each point to its nearest centroid; emit
+//         <cid, (count=1, coords)>.
+// Reduce: average the assigned points into the new centroid.
+// Combiner (optional, §5.1.3): pre-sum (count, coords) pairs map-side.
+// Auxiliary phase (§5.3): counts points that changed cluster; signals
+//         termination when fewer than a threshold moved.
+//
+// The paper clusters Last.fm users by listening history (359,347 users, 48.9
+// preferred artists each). That log is not available, so the workload is a
+// synthetic Gaussian-mixture "taste vector" set of configurable size and
+// dimension — same access pattern (dense coordinate records, big static
+// data, tiny state), which is what drives the Fig. 16/20 behaviour.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct KMeansDataSpec {
+  uint32_t num_points = 10000;
+  int dim = 8;
+  int num_clusters = 10;    // true generative clusters
+  double spread = 0.15;     // intra-cluster stddev (cluster means in [0,1]^d)
+  uint64_t seed = 7;
+};
+
+struct KMeans {
+  static std::vector<std::vector<double>> generate_points(
+      const KMeansDataSpec& spec);
+
+  // Writes <base>/points and <base>/centroids0 (the first k points, the
+  // paper's "select k random nodes as cluster centroids").
+  static void setup(Cluster& cluster,
+                    const std::vector<std::vector<double>>& points, int k,
+                    const std::string& base);
+
+  // Chain-of-jobs baseline: re-reads the points every iteration, distributes
+  // the current centroids via the distributed-cache equivalent.
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations, double threshold = -1.0,
+                                bool with_combiner = false);
+
+  // iMapReduce job: one2all broadcast, synchronous maps (§5.1.2).
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations, double threshold = -1.0,
+                                bool with_combiner = false);
+
+  // iMapReduce job with the auxiliary convergence-detection phase (§5.3):
+  // terminates when fewer than `move_threshold` points change cluster.
+  static IterJobConf imapreduce_with_aux(const std::string& base,
+                                         const std::string& output_path,
+                                         int max_iterations,
+                                         int64_t move_threshold);
+
+  // Reference with identical semantics (nearest centroid, ties to the lowest
+  // cluster id, empty clusters dropped). Returns cid -> centroid.
+  static std::map<uint32_t, std::vector<double>> reference(
+      const std::vector<std::vector<double>>& points,
+      const std::map<uint32_t, std::vector<double>>& init_centroids,
+      int iterations);
+
+  static std::map<uint32_t, std::vector<double>> read_result(
+      Cluster& cluster, const std::string& output_path, bool joined_count);
+
+  // Shuffle value codec: (count, coordinate sum).
+  static Bytes encode_partial(uint64_t count, const std::vector<double>& sum);
+  static void decode_partial(BytesView v, uint64_t& count,
+                             std::vector<double>& sum);
+};
+
+}  // namespace imr

@@ -1,0 +1,372 @@
+#include "algorithms/logreg.h"
+
+#include <cmath>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "imapreduce/api.h"
+#include "mapreduce/engine.h"
+
+namespace imr {
+
+namespace {
+
+constexpr const char* kLrParam = "logreg.learning_rate";
+constexpr char kGradTag = 'g';
+constexpr char kWeightTag = 'w';
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double dot_bias(const std::vector<double>& w, const std::vector<double>& x) {
+  IMR_CHECK(w.size() == x.size() + 1);
+  double z = w.back();  // bias
+  for (std::size_t d = 0; d < x.size(); ++d) z += w[d] * x[d];
+  return z;
+}
+
+// Per-sample gradient contribution of the negative log-likelihood with
+// labels in {-1, +1}: grad += -y * sigmoid(-y z) * [x, 1].
+void accumulate_gradient(const std::vector<double>& w, const LogRegSample& s,
+                         std::vector<double>& grad, double& loss) {
+  double z = dot_bias(w, s.x);
+  double margin = s.label * z;
+  double g = -s.label * sigmoid(-margin);
+  for (std::size_t d = 0; d < s.x.size(); ++d) grad[d] += g * s.x[d];
+  grad[s.x.size()] += g;  // bias
+  loss += std::log1p(std::exp(-margin));
+}
+
+Bytes encode_sample(const LogRegSample& s) {
+  Bytes v;
+  encode_f64(s.label, v);
+  encode_f64_vec(s.x, v);
+  return v;
+}
+
+LogRegSample decode_sample(BytesView v) {
+  LogRegSample s;
+  std::size_t pos = 0;
+  s.label = decode_f64(v, pos);
+  s.x = decode_f64_vec(v, pos);
+  return s;
+}
+
+// Partial record: (count, grad..., loss).
+Bytes encode_partial(uint64_t count, const std::vector<double>& grad,
+                     double loss) {
+  Bytes v;
+  v.push_back(kGradTag);
+  encode_varint(count, v);
+  encode_f64_vec(grad, v);
+  encode_f64(loss, v);
+  return v;
+}
+
+// Sums tagged partials and extracts the current weights; returns the count.
+uint64_t sum_values(const std::vector<Bytes>& values, std::vector<double>& grad,
+                    double& loss, std::vector<double>& w) {
+  uint64_t count = 0;
+  grad.clear();
+  loss = 0;
+  for (const Bytes& v : values) {
+    IMR_CHECK(!v.empty());
+    std::size_t pos = 1;
+    if (v[0] == kWeightTag) {
+      w = decode_f64_vec(v, pos);
+      continue;
+    }
+    count += decode_varint(v, pos);
+    std::vector<double> g = decode_f64_vec(v, pos);
+    loss += decode_f64(v, pos);
+    if (grad.empty()) {
+      grad = std::move(g);
+    } else {
+      IMR_CHECK(grad.size() == g.size());
+      for (std::size_t d = 0; d < g.size(); ++d) grad[d] += g[d];
+    }
+  }
+  return count;
+}
+
+Bytes weight_record(const std::vector<double>& w) {
+  Bytes v;
+  encode_f64_vec(w, v);
+  return v;
+}
+
+double l1_distance(const Bytes& prev, const Bytes& cur) {
+  std::size_t pos = 0;
+  std::vector<double> a =
+      prev.empty() ? std::vector<double>{} : decode_f64_vec(prev, pos);
+  pos = 0;
+  std::vector<double> b =
+      cur.empty() ? std::vector<double>{} : decode_f64_vec(cur, pos);
+  if (a.size() != b.size()) return 1e18;
+  double s = 0;
+  for (std::size_t d = 0; d < a.size(); ++d) s += std::abs(a[d] - b[d]);
+  return s;
+}
+
+}  // namespace
+
+std::vector<LogRegSample> LogReg::generate(const LogRegDataSpec& spec) {
+  Rng rng(spec.seed);
+  // Two Gaussian clouds at +/- separation/2 along a random direction.
+  std::vector<double> dir(static_cast<std::size_t>(spec.dim));
+  double norm = 0;
+  for (double& d : dir) {
+    d = rng.gaussian(0, 1);
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  for (double& d : dir) d /= norm;
+
+  std::vector<LogRegSample> data;
+  data.reserve(spec.num_samples);
+  for (uint32_t i = 0; i < spec.num_samples; ++i) {
+    LogRegSample s;
+    s.label = (rng.uniform(2) == 0) ? -1.0 : 1.0;
+    s.x.resize(static_cast<std::size_t>(spec.dim));
+    for (int d = 0; d < spec.dim; ++d) {
+      s.x[static_cast<std::size_t>(d)] =
+          s.label * spec.separation / 2 * dir[static_cast<std::size_t>(d)] +
+          rng.gaussian(0, 1);
+    }
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+void LogReg::setup(Cluster& cluster, const std::vector<LogRegSample>& data,
+                   int dim, const std::string& base) {
+  KVVec samples;
+  samples.reserve(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    samples.emplace_back(u32_key(i), encode_sample(data[i]));
+  }
+  KVVec w0;
+  w0.emplace_back(u32_key(0),
+                  weight_record(std::vector<double>(
+                      static_cast<std::size_t>(dim) + 1, 0.0)));
+  cluster.dfs().write_file(base + "/samples", std::move(samples), -1, nullptr);
+  cluster.dfs().write_file(base + "/w0", std::move(w0), -1, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline (points re-read; w via distributed cache)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LogRegBaselineReducer : public Reducer {
+ public:
+  void configure(const Params& params) override {
+    lr_ = params.get_double(kLrParam, 0.5);
+  }
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              Emitter& out) override {
+    std::vector<double> grad, w;
+    double loss;
+    uint64_t count = sum_values(values, grad, loss, w);
+    IMR_CHECK(count > 0 && !w.empty());
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      w[d] -= lr_ * grad[d] / static_cast<double>(count);
+    }
+    out.emit(key, weight_record(w));
+  }
+
+ private:
+  double lr_ = 0.5;
+};
+
+class LogRegBaselineMapper : public Mapper {
+ public:
+  void attach_cache(const KVVec& records) override {
+    IMR_CHECK(records.size() == 1);
+    std::size_t pos = 0;
+    w_ = decode_f64_vec(records[0].value, pos);
+    grad_.assign(w_.size(), 0.0);
+  }
+  void map(const Bytes&, const Bytes& value, Emitter&) override {
+    LogRegSample s = decode_sample(value);
+    accumulate_gradient(w_, s, grad_, loss_);
+    ++count_;
+  }
+  void flush(Emitter& out) override {
+    out.emit(u32_key(0), encode_partial(count_, grad_, loss_));
+    Bytes wrec;
+    wrec.push_back(kWeightTag);
+    encode_f64_vec(w_, wrec);
+    out.emit(u32_key(0), std::move(wrec));
+  }
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> grad_;
+  double loss_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+IterativeSpec LogReg::baseline(const std::string& base,
+                               const std::string& work_dir, int dim,
+                               int max_iterations, double learning_rate,
+                               double threshold) {
+  (void)dim;
+  IterativeSpec spec;
+  spec.name = "logreg";
+  spec.initial_input = base + "/samples";
+  spec.initial_state = base + "/w0";
+  spec.iterate_input = false;
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+  spec.params.set_double(kLrParam, learning_rate);
+  spec.num_reduce_tasks = 1;  // single model record
+
+  IterativeSpec::Stage stage;
+  stage.use_cache = true;
+  stage.mapper = [] { return std::make_unique<LogRegBaselineMapper>(); };
+  stage.reducer = [] { return std::make_unique<LogRegBaselineReducer>(); };
+  spec.stages.push_back(std::move(stage));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    return l1_distance(prev, cur);
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// iMapReduce (one2all broadcast)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LogRegIterMapper : public IterMapper {
+ public:
+  void map_all(const Bytes&, const Bytes& stat, const KVVec& states,
+               IterEmitter&) override {
+    if (states_seen_ != &states) {
+      IMR_CHECK(states.size() == 1);
+      std::size_t pos = 0;
+      w_ = decode_f64_vec(states[0].value, pos);
+      grad_.assign(w_.size(), 0.0);
+      loss_ = 0;
+      count_ = 0;
+      states_seen_ = &states;
+    }
+    LogRegSample s = decode_sample(stat);
+    accumulate_gradient(w_, s, grad_, loss_);
+    ++count_;
+  }
+
+  void flush(IterEmitter& out) override {
+    if (states_seen_ == nullptr) return;  // empty partition
+    out.emit(u32_key(0), encode_partial(count_, grad_, loss_));
+    Bytes wrec;
+    wrec.push_back(kWeightTag);
+    encode_f64_vec(w_, wrec);
+    out.emit(u32_key(0), std::move(wrec));
+    states_seen_ = nullptr;
+  }
+
+ private:
+  const KVVec* states_seen_ = nullptr;
+  std::vector<double> w_;
+  std::vector<double> grad_;
+  double loss_ = 0;
+  uint64_t count_ = 0;
+};
+
+class LogRegReducer : public IterReducer {
+ public:
+  void configure(const Params& params) override {
+    lr_ = params.get_double(kLrParam, 0.5);
+  }
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              IterEmitter& out) override {
+    std::vector<double> grad, w;
+    double loss;
+    uint64_t count = sum_values(values, grad, loss, w);
+    IMR_CHECK(count > 0 && !w.empty());
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      w[d] -= lr_ * grad[d] / static_cast<double>(count);
+    }
+    out.emit(key, weight_record(w));
+  }
+  double distance(const Bytes&, const Bytes& prev,
+                  const Bytes& cur) override {
+    return l1_distance(prev, cur);
+  }
+
+ private:
+  double lr_ = 0.5;
+};
+
+}  // namespace
+
+IterJobConf LogReg::imapreduce(const std::string& base,
+                               const std::string& output_path, int dim,
+                               int max_iterations, double learning_rate,
+                               double threshold) {
+  (void)dim;
+  IterJobConf conf;
+  conf.name = "logreg";
+  conf.state_path = base + "/w0";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+  conf.async_maps = false;  // one2all
+  conf.params.set_double(kLrParam, learning_rate);
+
+  PhaseConf phase;
+  phase.mapping = Mapping::kOne2All;
+  phase.static_path = base + "/samples";
+  phase.mapper = [] { return std::make_unique<LogRegIterMapper>(); };
+  phase.reducer = [] { return std::make_unique<LogRegReducer>(); };
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<double> LogReg::reference(const std::vector<LogRegSample>& data,
+                                      int dim, int iterations,
+                                      double learning_rate) {
+  std::vector<double> w(static_cast<std::size_t>(dim) + 1, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> grad(w.size(), 0.0);
+    double loss = 0;
+    for (const LogRegSample& s : data) {
+      accumulate_gradient(w, s, grad, loss);
+    }
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      w[d] -= learning_rate * grad[d] / static_cast<double>(data.size());
+    }
+  }
+  return w;
+}
+
+std::vector<double> LogReg::read_result(Cluster& cluster,
+                                        const std::string& output_path) {
+  for (const auto& part : resolve_input_paths(cluster.dfs(), output_path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      std::size_t pos = 0;
+      return decode_f64_vec(kv.value, pos);
+    }
+  }
+  throw Error("no weight record in " + output_path);
+}
+
+double LogReg::accuracy(const std::vector<LogRegSample>& data,
+                        const std::vector<double>& w) {
+  if (data.empty()) return 0;
+  std::size_t correct = 0;
+  for (const LogRegSample& s : data) {
+    double z = dot_bias(w, s.x);
+    if ((z >= 0 ? 1.0 : -1.0) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace imr

@@ -1,0 +1,66 @@
+// Batch-gradient-descent logistic regression — a machine-learning workload
+// of the "K-means-like" class (§5.1): every mapper needs the full model, so
+// the state (the weight vector) is broadcast one-to-all from reduce to map,
+// and the static data (the training samples) stays partitioned on the map
+// side.
+//
+// State:  a single record <0, w> (the weight vector, dim+1 with bias).
+// Static: training samples <i, (y, x)> with y in {-1, +1}.
+// Map:    accumulate the partial gradient over the local partition; flush()
+//         emits <0, (count, grad, loss)> once per iteration, plus one tagged
+//         copy of the current w.
+// Reduce: sum partials, take one step: w' = w - lr * grad / n.
+// Distance: L1 distance between consecutive weight vectors.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct LogRegSample {
+  double label = 1.0;  // -1 or +1
+  std::vector<double> x;
+};
+
+struct LogRegDataSpec {
+  uint32_t num_samples = 4000;
+  int dim = 6;
+  double separation = 2.0;  // distance between the two class means
+  uint64_t seed = 99;
+};
+
+struct LogReg {
+  static std::vector<LogRegSample> generate(const LogRegDataSpec& spec);
+
+  // Writes <base>/samples and <base>/w0 (zero weights).
+  static void setup(Cluster& cluster, const std::vector<LogRegSample>& data,
+                    int dim, const std::string& base);
+
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir, int dim,
+                                int max_iterations, double learning_rate,
+                                double threshold = -1.0);
+
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path, int dim,
+                                int max_iterations, double learning_rate,
+                                double threshold = -1.0);
+
+  // Batch GD reference with identical update rule.
+  static std::vector<double> reference(const std::vector<LogRegSample>& data,
+                                       int dim, int iterations,
+                                       double learning_rate);
+
+  static std::vector<double> read_result(Cluster& cluster,
+                                         const std::string& output_path);
+
+  // Classification accuracy of weights `w` on `data` (for tests/examples).
+  static double accuracy(const std::vector<LogRegSample>& data,
+                         const std::vector<double>& w);
+};
+
+}  // namespace imr

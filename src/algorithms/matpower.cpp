@@ -1,0 +1,293 @@
+#include "algorithms/matpower.h"
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "imapreduce/api.h"
+#include "mapreduce/engine.h"
+
+namespace imr {
+
+namespace {
+
+// Baseline phase-1 shuffle tags.
+constexpr char kMTag = 'M';
+constexpr char kNTag = 'N';
+
+// Sum combiner/reducer shared by both implementations' phase 2.
+void sum_values(const std::vector<Bytes>& values, double& sum) {
+  sum = 0;
+  for (const Bytes& v : values) sum += as_f64(v);
+}
+
+}  // namespace
+
+Bytes MatPower::pair_key(uint32_t i, uint32_t k) {
+  Bytes b;
+  b.reserve(8);
+  encode_u32(i, b);
+  encode_u32(k, b);
+  return b;
+}
+
+void MatPower::decode_pair_key(BytesView key, uint32_t& i, uint32_t& k) {
+  std::size_t pos = 0;
+  i = decode_u32(key, pos);
+  k = decode_u32(key, pos);
+}
+
+Matrix MatPower::generate(uint32_t n, uint64_t seed) {
+  Matrix m;
+  m.n = n;
+  m.a.resize(static_cast<std::size_t>(n) * n);
+  Rng rng(seed);
+  for (double& x : m.a) x = rng.uniform_real(0.0, 1.0 / n);
+  return m;
+}
+
+void MatPower::setup(Cluster& cluster, const Matrix& m,
+                     const std::string& base) {
+  KVVec elements;
+  elements.reserve(static_cast<std::size_t>(m.n) * m.n);
+  for (uint32_t i = 0; i < m.n; ++i) {
+    for (uint32_t j = 0; j < m.n; ++j) {
+      elements.emplace_back(pair_key(i, j), f64_value(m.at(i, j)));
+    }
+  }
+  // Columns of M keyed by j, as (i, m_ij) "edge" lists.
+  KVVec columns;
+  columns.reserve(m.n);
+  for (uint32_t j = 0; j < m.n; ++j) {
+    std::vector<WEdge> col;
+    col.reserve(m.n);
+    for (uint32_t i = 0; i < m.n; ++i) {
+      col.push_back(WEdge{i, m.at(i, j)});
+    }
+    Bytes v;
+    encode_wedges(col, v);
+    columns.emplace_back(u32_key(j), std::move(v));
+  }
+  cluster.dfs().write_file(base + "/elements", std::move(elements), -1,
+                           nullptr);
+  cluster.dfs().write_file(base + "/columns", std::move(columns), -1, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: two jobs per iteration
+// ---------------------------------------------------------------------------
+
+IterativeSpec MatPower::baseline(const std::string& base,
+                                 const std::string& work_dir,
+                                 int max_iterations) {
+  IterativeSpec spec;
+  spec.name = "matpower";
+  spec.initial_input = base + "/elements";
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = -1.0;  // fixed iteration count
+
+  // Stage 0 (Map 1 / Reduce 1): extract columns of M and rows of N keyed by
+  // the join dimension j, then join.
+  IterativeSpec::Stage s0;
+  s0.mapper = make_mapper([](const Bytes& key, const Bytes& value,
+                             Emitter& out) {
+    // N element <(j,k), n_jk> -> <j, (N, k, n_jk)>
+    uint32_t j, k;
+    MatPower::decode_pair_key(key, j, k);
+    Bytes v;
+    v.push_back(kNTag);
+    encode_u32(k, v);
+    v.append(value);
+    out.emit(u32_key(j), std::move(v));
+  });
+  s0.side_inputs.push_back(InputSpec{
+      base + "/elements",
+      make_mapper([](const Bytes& key, const Bytes& value, Emitter& out) {
+        // M element <(i,j), m_ij> -> <j, (M, i, m_ij)>
+        uint32_t i, j;
+        MatPower::decode_pair_key(key, i, j);
+        Bytes v;
+        v.push_back(kMTag);
+        encode_u32(i, v);
+        v.append(value);
+        out.emit(u32_key(j), std::move(v));
+      })});
+  s0.reducer = make_reducer([](const Bytes& key,
+                               const std::vector<Bytes>& values,
+                               Emitter& out) {
+    // Join column j of M with row j of N into one record.
+    std::vector<WEdge> m_col, n_row;
+    for (const Bytes& v : values) {
+      IMR_CHECK(v.size() >= 13);
+      std::size_t pos = 1;
+      uint32_t idx = decode_u32(v, pos);
+      double x = decode_f64(v, pos);
+      if (v[0] == kMTag) {
+        m_col.push_back(WEdge{idx, x});
+      } else {
+        n_row.push_back(WEdge{idx, x});
+      }
+    }
+    Bytes joined;
+    encode_wedges(m_col, joined);
+    encode_wedges(n_row, joined);
+    out.emit(key, std::move(joined));
+  });
+  spec.stages.push_back(std::move(s0));
+
+  // Stage 1 (Map 2 / Reduce 2): emit all partial products, sum them.
+  IterativeSpec::Stage s1;
+  s1.mapper = make_mapper([](const Bytes& /*key*/, const Bytes& value,
+                             Emitter& out) {
+    std::size_t pos = 0;
+    uint64_t nm = decode_varint(value, pos);
+    std::vector<WEdge> m_col;
+    m_col.reserve(nm);
+    for (uint64_t x = 0; x < nm; ++x) {
+      WEdge e;
+      e.dst = decode_u32(value, pos);
+      e.weight = decode_f64(value, pos);
+      m_col.push_back(e);
+    }
+    uint64_t nn = decode_varint(value, pos);
+    std::vector<WEdge> n_row;
+    n_row.reserve(nn);
+    for (uint64_t x = 0; x < nn; ++x) {
+      WEdge e;
+      e.dst = decode_u32(value, pos);
+      e.weight = decode_f64(value, pos);
+      n_row.push_back(e);
+    }
+    for (const WEdge& m : m_col) {
+      for (const WEdge& n : n_row) {
+        out.emit(MatPower::pair_key(m.dst, n.dst),
+                 f64_value(m.weight * n.weight));
+      }
+    }
+  });
+  s1.reducer = make_reducer([](const Bytes& key,
+                               const std::vector<Bytes>& values,
+                               Emitter& out) {
+    double sum;
+    sum_values(values, sum);
+    out.emit(key, f64_value(sum));
+  });
+  s1.combiner = s1.reducer;
+  spec.stages.push_back(std::move(s1));
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// iMapReduce: two phases per iteration
+// ---------------------------------------------------------------------------
+
+IterJobConf MatPower::imapreduce(const std::string& base,
+                                 const std::string& output_path,
+                                 int max_iterations) {
+  IterJobConf conf;
+  conf.name = "matpower";
+  conf.state_path = base + "/elements";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = -1.0;
+
+  // Phase 0: re-key N by row j (no static data; §5.2.2: "in the first
+  // map-reduce phase there is no join operation").
+  PhaseConf p0;
+  p0.mapper = make_iter_mapper([](const Bytes& key, const Bytes& state,
+                                  const Bytes& /*stat*/, IterEmitter& out) {
+    uint32_t j, k;
+    MatPower::decode_pair_key(key, j, k);
+    Bytes v;
+    encode_u32(k, v);
+    v.append(state);
+    out.emit(u32_key(j), std::move(v));
+  });
+  p0.reducer = make_iter_reducer([](const Bytes& key,
+                                    const std::vector<Bytes>& values,
+                                    IterEmitter& out) {
+    std::vector<WEdge> row;
+    row.reserve(values.size());
+    for (const Bytes& v : values) {
+      std::size_t pos = 0;
+      WEdge e;
+      e.dst = decode_u32(v, pos);
+      e.weight = decode_f64(v, pos);
+      row.push_back(e);
+    }
+    Bytes enc;
+    encode_wedges(row, enc);
+    out.emit(key, std::move(enc));
+  });
+  conf.phases.push_back(std::move(p0));
+
+  // Phase 1: join row j of N with static column j of M, multiply, sum.
+  PhaseConf p1;
+  p1.static_path = base + "/columns";
+  p1.mapper = make_iter_mapper([](const Bytes& /*key*/, const Bytes& state,
+                                  const Bytes& stat, IterEmitter& out) {
+    if (stat.empty()) return;
+    std::vector<WEdge> m_col = decode_wedges(stat);
+    std::vector<WEdge> n_row = decode_wedges(state);
+    for (const WEdge& m : m_col) {
+      for (const WEdge& n : n_row) {
+        out.emit(MatPower::pair_key(m.dst, n.dst),
+                 f64_value(m.weight * n.weight));
+      }
+    }
+  });
+  p1.reducer = make_iter_reducer([](const Bytes& key,
+                                    const std::vector<Bytes>& values,
+                                    IterEmitter& out) {
+    double sum;
+    sum_values(values, sum);
+    out.emit(key, f64_value(sum));
+  });
+  p1.combiner = make_iter_reducer([](const Bytes& key,
+                                     const std::vector<Bytes>& values,
+                                     IterEmitter& out) {
+    double sum;
+    sum_values(values, sum);
+    out.emit(key, f64_value(sum));
+  });
+  conf.phases.push_back(std::move(p1));
+  return conf;
+}
+
+Matrix MatPower::reference(const Matrix& m, int iterations) {
+  Matrix cur = m;
+  for (int it = 0; it < iterations; ++it) {
+    Matrix next;
+    next.n = m.n;
+    next.a.assign(static_cast<std::size_t>(m.n) * m.n, 0.0);
+    for (uint32_t i = 0; i < m.n; ++i) {
+      for (uint32_t j = 0; j < m.n; ++j) {
+        double mij = m.at(i, j);
+        if (mij == 0) continue;
+        for (uint32_t k = 0; k < m.n; ++k) {
+          next.at(i, k) += mij * cur.at(j, k);
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Matrix MatPower::read_result(Cluster& cluster, const std::string& output_path,
+                             uint32_t n) {
+  Matrix m;
+  m.n = n;
+  m.a.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), output_path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t i, k;
+      decode_pair_key(kv.key, i, k);
+      IMR_CHECK(i < n && k < n);
+      m.at(i, k) = as_f64(kv.value);
+    }
+  }
+  return m;
+}
+
+}  // namespace imr

@@ -1,0 +1,63 @@
+// Matrix power computation M^k via repeated multiplication (§5.2.1), the
+// two-map-reduce-phases-per-iteration example.
+//
+// State: the current power N = M^t as element records <(i,k), n_ik>.
+// Static (joined at Map 2 only): the columns of M, <j, [(i, m_ij)...]>.
+//
+// Phase 1:  Map 1 re-keys N elements by row:   <(j,k), n_jk> -> <j, (k, n_jk)>
+//           Reduce 1 gathers row j of N:        <j, [(k, n_jk)...]>
+// Phase 2:  Map 2 joins row j of N with column j of M and emits all partial
+//           products <(i,k), m_ij * n_jk> (combiner pre-sums);
+//           Reduce 2 sums partials:              <(i,k), p_ik>
+// Reduce 2 connects back to Map 1 one-to-one (both operate on (i,k) keys).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+// Dense row-major matrix.
+struct Matrix {
+  uint32_t n = 0;
+  std::vector<double> a;  // n*n
+
+  double& at(uint32_t i, uint32_t j) { return a[static_cast<std::size_t>(i) * n + j]; }
+  double at(uint32_t i, uint32_t j) const {
+    return a[static_cast<std::size_t>(i) * n + j];
+  }
+};
+
+struct MatPower {
+  // Random matrix with entries in [0, 1/n) so powers stay bounded.
+  static Matrix generate(uint32_t n, uint64_t seed);
+
+  // Writes <base>/elements (N_0 = M as <(i,j), m_ij>) and <base>/columns
+  // (column-major static data for Map 2).
+  static void setup(Cluster& cluster, const Matrix& m,
+                    const std::string& base);
+
+  // Two chained jobs per iteration (§5.2.1's MapReduce implementation).
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations);
+
+  // Two phases per iteration, M joined as static data at Map 2 (§5.2.2).
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations);
+
+  // Dense reference: M^(iterations+1).
+  static Matrix reference(const Matrix& m, int iterations);
+
+  static Matrix read_result(Cluster& cluster, const std::string& output_path,
+                            uint32_t n);
+
+  static Bytes pair_key(uint32_t i, uint32_t k);
+  static void decode_pair_key(BytesView key, uint32_t& i, uint32_t& k);
+};
+
+}  // namespace imr

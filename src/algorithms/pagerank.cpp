@@ -1,0 +1,242 @@
+#include "algorithms/pagerank.h"
+
+#include <cmath>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "imapreduce/api.h"
+
+namespace imr {
+
+namespace {
+
+constexpr char kPartialTag = 'p';
+constexpr char kStructTag = 's';
+
+constexpr const char* kDampingParam = "pagerank.damping";
+constexpr const char* kNumNodesParam = "pagerank.num_nodes";
+
+double manhattan(double a, double b) { return std::abs(a - b); }
+
+}  // namespace
+
+Bytes PageRank::encode_joined(double rank, const std::vector<uint32_t>& adj) {
+  Bytes v;
+  encode_f64(rank, v);
+  encode_adj(adj, v);
+  return v;
+}
+
+void PageRank::decode_joined(BytesView joined, double& rank,
+                             std::vector<uint32_t>& adj) {
+  std::size_t pos = 0;
+  rank = decode_f64(joined, pos);
+  adj = decode_adj(joined.substr(pos));
+}
+
+void PageRank::setup(Cluster& cluster, const Graph& g,
+                     const std::string& base) {
+  const double r0 = 1.0 / g.num_nodes();
+  KVVec joined, stat, state;
+  joined.reserve(g.num_nodes());
+  stat.reserve(g.num_nodes());
+  state.reserve(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    std::vector<uint32_t> adj;
+    adj.reserve(g.adj[u].size());
+    for (const WEdge& e : g.adj[u]) adj.push_back(e.dst);
+    Bytes key = u32_key(u);
+    joined.emplace_back(key, encode_joined(r0, adj));
+    Bytes enc;
+    encode_adj(adj, enc);
+    stat.emplace_back(key, std::move(enc));
+    state.emplace_back(std::move(key), f64_value(r0));
+  }
+  cluster.dfs().write_file(base + "/joined", std::move(joined), -1, nullptr);
+  cluster.dfs().write_file(base + "/static", std::move(stat), -1, nullptr);
+  cluster.dfs().write_file(base + "/state", std::move(state), -1, nullptr);
+}
+
+IterativeSpec PageRank::baseline(const std::string& base,
+                                 const std::string& work_dir,
+                                 uint32_t num_nodes, int max_iterations,
+                                 double threshold, double damping) {
+  IterativeSpec spec;
+  spec.name = "pagerank";
+  spec.initial_input = base + "/joined";
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+  spec.params.set_double(kDampingParam, damping);
+  spec.params.set_int(kNumNodesParam, num_nodes);
+
+  class PrMapper : public Mapper {
+   public:
+    void configure(const Params& params) override {
+      damping_ = params.get_double(kDampingParam);
+      n_ = static_cast<double>(params.get_int(kNumNodesParam));
+    }
+    void map(const Bytes& key, const Bytes& value, Emitter& out) override {
+      double rank;
+      std::vector<uint32_t> adj;
+      PageRank::decode_joined(value, rank, adj);
+      if (!adj.empty()) {
+        double share = damping_ * rank / static_cast<double>(adj.size());
+        for (uint32_t v : adj) {
+          Bytes enc;
+          enc.push_back(kPartialTag);
+          encode_f64(share, enc);
+          out.emit(u32_key(v), std::move(enc));
+        }
+      }
+      // Retain (1-d)/|V| along with the outbound neighbor set.
+      Bytes s;
+      s.push_back(kStructTag);
+      s.append(PageRank::encode_joined((1.0 - damping_) / n_, adj));
+      out.emit(key, std::move(s));
+    }
+
+   private:
+    double damping_ = kDefaultDamping;
+    double n_ = 1;
+  };
+
+  spec.set_body(
+      [] { return std::make_unique<PrMapper>(); },
+      make_reducer([](const Bytes& key, const std::vector<Bytes>& values,
+                      Emitter& out) {
+        double sum = 0;
+        std::vector<uint32_t> adj;
+        bool have_struct = false;
+        for (const Bytes& v : values) {
+          IMR_CHECK(!v.empty());
+          if (v[0] == kStructTag) {
+            double retained;
+            PageRank::decode_joined(BytesView(v).substr(1), retained, adj);
+            sum += retained;
+            have_struct = true;
+          } else {
+            std::size_t pos = 1;
+            sum += decode_f64(v, pos);
+          }
+        }
+        IMR_CHECK_MSG(have_struct, "node without structure record");
+        out.emit(key, PageRank::encode_joined(sum, adj));
+      }));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    double rp = 0, rc = 0;
+    std::vector<uint32_t> unused;
+    if (!prev.empty()) PageRank::decode_joined(prev, rp, unused);
+    if (!cur.empty()) PageRank::decode_joined(cur, rc, unused);
+    return manhattan(rp, rc);
+  };
+  return spec;
+}
+
+IterJobConf PageRank::imapreduce(const std::string& base,
+                                 const std::string& output_path,
+                                 uint32_t num_nodes, int max_iterations,
+                                 double threshold, double damping) {
+  IterJobConf conf;
+  conf.name = "pagerank";
+  conf.state_path = base + "/state";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+  conf.params.set_double(kDampingParam, damping);
+  conf.params.set_int(kNumNodesParam, num_nodes);
+
+  class PrIterMapper : public IterMapper {
+   public:
+    void configure(const Params& params) override {
+      damping_ = params.get_double(kDampingParam);
+      n_ = static_cast<double>(params.get_int(kNumNodesParam));
+    }
+    void map(const Bytes& key, const Bytes& state, const Bytes& stat,
+             IterEmitter& out) override {
+      double rank = as_f64(state);
+      if (!stat.empty()) {
+        std::vector<uint32_t> adj = decode_adj(stat);
+        if (!adj.empty()) {
+          double share = damping_ * rank / static_cast<double>(adj.size());
+          for (uint32_t v : adj) out.emit(u32_key(v), f64_value(share));
+        }
+      }
+      out.emit(key, f64_value((1.0 - damping_) / n_));
+    }
+
+   private:
+    double damping_ = kDefaultDamping;
+    double n_ = 1;
+  };
+
+  PhaseConf phase;
+  phase.static_path = base + "/static";
+  phase.mapper = [] { return std::make_unique<PrIterMapper>(); };
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        double sum = 0;
+        for (const Bytes& v : values) sum += as_f64(v);
+        out.emit(key, f64_value(sum));
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        double rp = prev.empty() ? 0.0 : as_f64(prev);
+        double rc = cur.empty() ? 0.0 : as_f64(cur);
+        return manhattan(rp, rc);
+      });
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<double> PageRank::reference(const Graph& g, int iterations,
+                                        double damping) {
+  const uint32_t n = g.num_nodes();
+  std::vector<double> rank(n, 1.0 / n);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(n, (1.0 - damping) / n);
+    for (uint32_t u = 0; u < n; ++u) {
+      if (g.adj[u].empty()) continue;
+      double share = damping * rank[u] / static_cast<double>(g.adj[u].size());
+      for (const WEdge& e : g.adj[u]) next[e.dst] += share;
+    }
+    rank = std::move(next);
+  }
+  return rank;
+}
+
+namespace {
+std::vector<double> read_ranks(Cluster& cluster, const std::string& path,
+                               uint32_t num_nodes, bool joined) {
+  std::vector<double> rank(num_nodes, 0.0);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t u = as_u32(kv.key);
+      IMR_CHECK(u < num_nodes);
+      if (joined) {
+        double r;
+        std::vector<uint32_t> unused;
+        PageRank::decode_joined(kv.value, r, unused);
+        rank[u] = r;
+      } else {
+        rank[u] = as_f64(kv.value);
+      }
+    }
+  }
+  return rank;
+}
+}  // namespace
+
+std::vector<double> PageRank::read_result_mr(Cluster& cluster,
+                                             const std::string& output_path,
+                                             uint32_t num_nodes) {
+  return read_ranks(cluster, output_path, num_nodes, /*joined=*/true);
+}
+
+std::vector<double> PageRank::read_result_imr(Cluster& cluster,
+                                              const std::string& output_path,
+                                              uint32_t num_nodes) {
+  return read_ranks(cluster, output_path, num_nodes, /*joined=*/false);
+}
+
+}  // namespace imr

@@ -1,0 +1,53 @@
+// PageRank (§2.1.2).
+//
+// State: per-node ranking score R(v). Static: out-neighbor list.
+// Map:    emit <v, d·R(u)/|N+(u)|> for each out-neighbor, retain
+//         <u, (1-d)/|V|>.
+// Reduce: sum.
+// Distance (termination): Manhattan distance between consecutive rank
+// vectors (the paper's Fig. 3 example uses threshold 0.01).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "graph/graph.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct PageRank {
+  static constexpr double kDefaultDamping = 0.8;
+
+  static void setup(Cluster& cluster, const Graph& g, const std::string& base);
+
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                uint32_t num_nodes, int max_iterations,
+                                double threshold = -1.0,
+                                double damping = kDefaultDamping);
+
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                uint32_t num_nodes, int max_iterations,
+                                double threshold = -1.0,
+                                double damping = kDefaultDamping);
+
+  // Synchronous power-iteration reference with the paper's update rule.
+  static std::vector<double> reference(const Graph& g, int iterations,
+                                       double damping = kDefaultDamping);
+
+  static std::vector<double> read_result_mr(Cluster& cluster,
+                                            const std::string& output_path,
+                                            uint32_t num_nodes);
+  static std::vector<double> read_result_imr(Cluster& cluster,
+                                             const std::string& output_path,
+                                             uint32_t num_nodes);
+
+  static Bytes encode_joined(double rank, const std::vector<uint32_t>& adj);
+  static void decode_joined(BytesView joined, double& rank,
+                            std::vector<uint32_t>& adj);
+};
+
+}  // namespace imr

@@ -1,0 +1,215 @@
+#include "algorithms/sssp.h"
+
+#include <limits>
+
+#include "common/codec.h"
+#include "common/error.h"
+#include "imapreduce/api.h"
+
+namespace imr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shuffle value tags for the baseline (candidate distance vs retained
+// structure record).
+constexpr char kDistTag = 'd';
+constexpr char kStructTag = 's';
+
+// Count-changed distance for termination: 1 per node whose shortest distance
+// changed this iteration.
+double changed(double prev, double cur) { return prev == cur ? 0.0 : 1.0; }
+
+}  // namespace
+
+Bytes Sssp::encode_joined(double dist, const std::vector<WEdge>& edges) {
+  Bytes v;
+  encode_f64(dist, v);
+  encode_wedges(edges, v);
+  return v;
+}
+
+void Sssp::decode_joined(BytesView joined, double& dist,
+                         std::vector<WEdge>& edges) {
+  std::size_t pos = 0;
+  dist = decode_f64(joined, pos);
+  edges = decode_wedges(joined.substr(pos));
+}
+
+void Sssp::setup(Cluster& cluster, const Graph& g, uint32_t source,
+                 const std::string& base) {
+  IMR_CHECK_MSG(source < g.num_nodes(), "source node out of range");
+  KVVec joined, stat, state;
+  joined.reserve(g.num_nodes());
+  stat.reserve(g.num_nodes());
+  state.reserve(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    double d = u == source ? 0.0 : kInf;
+    Bytes key = u32_key(u);
+    joined.emplace_back(key, encode_joined(d, g.adj[u]));
+    Bytes edges;
+    encode_wedges(g.adj[u], edges);
+    stat.emplace_back(key, std::move(edges));
+    state.emplace_back(std::move(key), f64_value(d));
+  }
+  cluster.dfs().write_file(base + "/joined", std::move(joined), -1, nullptr);
+  cluster.dfs().write_file(base + "/static", std::move(stat), -1, nullptr);
+  cluster.dfs().write_file(base + "/state", std::move(state), -1, nullptr);
+}
+
+IterativeSpec Sssp::baseline(const std::string& base,
+                             const std::string& work_dir, int max_iterations,
+                             double threshold) {
+  IterativeSpec spec;
+  spec.name = "sssp";
+  spec.initial_input = base + "/joined";
+  spec.work_dir = work_dir;
+  spec.max_iterations = max_iterations;
+  spec.distance_threshold = threshold;
+
+  spec.set_body(
+      make_mapper([](const Bytes& key, const Bytes& value, Emitter& out) {
+        double d;
+        std::vector<WEdge> edges;
+        Sssp::decode_joined(value, d, edges);
+        if (d != kInf) {
+          for (const WEdge& e : edges) {
+            Bytes v;
+            v.push_back(kDistTag);
+            encode_f64(d + e.weight, v);
+            out.emit(u32_key(e.dst), std::move(v));
+          }
+        }
+        Bytes s;
+        s.push_back(kStructTag);
+        s.append(value);
+        out.emit(key, std::move(s));
+      }),
+      make_reducer([](const Bytes& key, const std::vector<Bytes>& values,
+                      Emitter& out) {
+        double best = kInf;
+        double own = kInf;
+        std::vector<WEdge> edges;
+        bool have_struct = false;
+        for (const Bytes& v : values) {
+          IMR_CHECK(!v.empty());
+          std::size_t pos = 1;
+          if (v[0] == kStructTag) {
+            Sssp::decode_joined(BytesView(v).substr(1), own, edges);
+            have_struct = true;
+          } else {
+            best = std::min(best, decode_f64(v, pos));
+          }
+        }
+        IMR_CHECK_MSG(have_struct, "node without structure record");
+        best = std::min(best, own);
+        out.emit(key, Sssp::encode_joined(best, edges));
+      }));
+
+  spec.distance = [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+    double dp = kInf, dc = kInf;
+    std::vector<WEdge> unused;
+    if (!prev.empty()) Sssp::decode_joined(prev, dp, unused);
+    if (!cur.empty()) Sssp::decode_joined(cur, dc, unused);
+    return changed(dp, dc);
+  };
+  return spec;
+}
+
+IterJobConf Sssp::imapreduce(const std::string& base,
+                             const std::string& output_path,
+                             int max_iterations, double threshold) {
+  IterJobConf conf;
+  conf.name = "sssp";
+  conf.state_path = base + "/state";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  conf.distance_threshold = threshold;
+
+  PhaseConf phase;
+  phase.static_path = base + "/static";
+  phase.mapper = make_iter_mapper([](const Bytes& key, const Bytes& state,
+                                     const Bytes& stat, IterEmitter& out) {
+    double d = as_f64(state);
+    if (d != kInf && !stat.empty()) {
+      for (const WEdge& e : decode_wedges(stat)) {
+        out.emit(u32_key(e.dst), f64_value(d + e.weight));
+      }
+    }
+    out.emit(key, f64_value(d));  // retain the current shortest distance
+  });
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        double best = kInf;
+        for (const Bytes& v : values) best = std::min(best, as_f64(v));
+        out.emit(key, f64_value(best));
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        double dp = prev.empty() ? kInf : as_f64(prev);
+        double dc = cur.empty() ? kInf : as_f64(cur);
+        return changed(dp, dc);
+      });
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<double> Sssp::reference(const Graph& g, uint32_t source,
+                                    int iterations) {
+  std::vector<double> dist(g.num_nodes(), kInf);
+  dist[source] = 0.0;
+  int max_rounds = iterations < 0 ? static_cast<int>(g.num_nodes()) : iterations;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<double> next = dist;
+    bool any_change = false;
+    for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] == kInf) continue;
+      for (const WEdge& e : g.adj[u]) {
+        double cand = dist[u] + e.weight;
+        if (cand < next[e.dst]) {
+          next[e.dst] = cand;
+          any_change = true;
+        }
+      }
+    }
+    dist = std::move(next);
+    if (iterations < 0 && !any_change) break;
+  }
+  return dist;
+}
+
+namespace {
+std::vector<double> read_distances(Cluster& cluster, const std::string& path,
+                                   uint32_t num_nodes, bool joined) {
+  std::vector<double> dist(num_nodes, kInf);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t u = as_u32(kv.key);
+      IMR_CHECK(u < num_nodes);
+      if (joined) {
+        double d;
+        std::vector<WEdge> unused;
+        Sssp::decode_joined(kv.value, d, unused);
+        dist[u] = d;
+      } else {
+        dist[u] = as_f64(kv.value);
+      }
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+std::vector<double> Sssp::read_result_mr(Cluster& cluster,
+                                         const std::string& output_path,
+                                         uint32_t num_nodes) {
+  return read_distances(cluster, output_path, num_nodes, /*joined=*/true);
+}
+
+std::vector<double> Sssp::read_result_imr(Cluster& cluster,
+                                          const std::string& output_path,
+                                          uint32_t num_nodes) {
+  return read_distances(cluster, output_path, num_nodes, /*joined=*/false);
+}
+
+}  // namespace imr

@@ -1,0 +1,56 @@
+// Single Source Shortest Path (§2.1.1).
+//
+// State: per-node shortest distance (f64, +inf when unreached).
+// Static: weighted out-edge list.
+// Map:    for each edge (u,v,w) emit <v, d(u)+w>; retain <u, d(u)>.
+// Reduce: min over candidates.
+// Distance (termination): count of nodes whose distance changed; the run
+// converges when no node changes (threshold 0.5).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "graph/graph.h"
+#include "imapreduce/conf.h"
+#include "mapreduce/iterative_driver.h"
+
+namespace imr {
+
+struct Sssp {
+  // Writes <base>/joined (baseline input: [d | edges] per node),
+  // <base>/static (edges per node) and <base>/state (initial distances).
+  static void setup(Cluster& cluster, const Graph& g, uint32_t source,
+                    const std::string& base);
+
+  // The chain-of-jobs baseline (§2.1.1's MapReduce implementation).
+  static IterativeSpec baseline(const std::string& base,
+                                const std::string& work_dir,
+                                int max_iterations, double threshold = -1.0);
+
+  // The iMapReduce job (§3.5's interfaces).
+  static IterJobConf imapreduce(const std::string& base,
+                                const std::string& output_path,
+                                int max_iterations, double threshold = -1.0);
+
+  // Synchronous Bellman-Ford reference: exactly `iterations` rounds
+  // (matching a fixed-iteration framework run), or run to fixpoint when
+  // iterations < 0.
+  static std::vector<double> reference(const Graph& g, uint32_t source,
+                                       int iterations);
+
+  // Decode framework outputs back into a distance vector.
+  static std::vector<double> read_result_mr(Cluster& cluster,
+                                            const std::string& output_path,
+                                            uint32_t num_nodes);
+  static std::vector<double> read_result_imr(Cluster& cluster,
+                                             const std::string& output_path,
+                                             uint32_t num_nodes);
+
+  // Value codecs (exposed for tests).
+  static Bytes encode_joined(double dist, const std::vector<WEdge>& edges);
+  static void decode_joined(BytesView joined, double& dist,
+                            std::vector<WEdge>& edges);
+};
+
+}  // namespace imr

@@ -1,0 +1,96 @@
+#include "bench_util/harness.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace imr::bench {
+
+ClusterConfig local_cluster_preset(double data_scale) {
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.map_slots_per_worker = 2;
+  config.reduce_slots_per_worker = 2;
+  config.cost = CostModel::local_cluster().scaled_for_data(data_scale);
+  return config;
+}
+
+ClusterConfig ec2_preset(int instances, double data_scale) {
+  ClusterConfig config;
+  config.num_workers = instances;
+  config.map_slots_per_worker = 2;
+  config.reduce_slots_per_worker = 2;
+  config.cost = CostModel::ec2().scaled_for_data(data_scale);
+  return config;
+}
+
+Series series_of(const std::string& label, const RunReport& report) {
+  Series s;
+  s.label = label;
+  for (const IterationStat& it : report.iterations) {
+    s.cumulative_sec.push_back(it.wall_ms_end / 1e3);
+  }
+  return s;
+}
+
+Series series_ex_init(const std::string& label, const RunReport& report) {
+  Series s;
+  s.label = label;
+  double init_so_far = 0;
+  for (const IterationStat& it : report.iterations) {
+    init_so_far += it.init_ms;
+    s.cumulative_sec.push_back((it.wall_ms_end - init_so_far) / 1e3);
+  }
+  return s;
+}
+
+void banner(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("============================================================\n");
+}
+
+void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+void expectation(const std::string& paper, const std::string& measured) {
+  std::printf("  expected (paper): %s\n", paper.c_str());
+  std::printf("  measured:         %s\n", measured.c_str());
+}
+
+void print_series(const std::vector<Series>& series) {
+  std::vector<std::string> header = {"iteration"};
+  std::size_t rows = 0;
+  for (const Series& s : series) {
+    header.push_back(s.label + " (s)");
+    rows = std::max(rows, s.cumulative_sec.size());
+  }
+  TextTable table(header);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const Series& s : series) {
+      row.push_back(i < s.cumulative_sec.size()
+                        ? fmt_double(s.cumulative_sec[i], 1)
+                        : "");
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table);
+}
+
+void print_table(const TextTable& table) {
+  std::printf("%s", table.render().c_str());
+}
+
+std::string fmt_sec(double ms) { return fmt_double(ms / 1e3, 1) + " s"; }
+
+std::string fmt_ratio(double num, double den) {
+  if (den == 0) return "n/a";
+  return fmt_double(num / den, 2) + "x";
+}
+
+std::string fmt_pct(double num, double den) {
+  if (den == 0) return "n/a";
+  return fmt_double(100.0 * num / den, 1) + "%";
+}
+
+}  // namespace imr::bench

@@ -1,0 +1,56 @@
+// Experiment harness shared by all bench binaries.
+//
+// Each bench reproduces one table or figure from the paper: it builds a
+// cluster with the matching preset, synthesizes the (scaled) dataset, runs
+// the framework configurations, and prints paper-style series/tables along
+// with the paper's expectation so EXPERIMENTS.md can record shape parity.
+//
+// Every reported time is VIRTUAL seconds from the calibrated cost model —
+// deterministic, hardware-independent — not wall-clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "metrics/metrics.h"
+#include "metrics/table.h"
+
+namespace imr::bench {
+
+// The paper's two environments (§4.1.1). `data_scale` adapts the cost model
+// for runs whose dataset is 1/data_scale of the published size (see
+// CostModel::scaled_for_data and DESIGN.md).
+ClusterConfig local_cluster_preset(double data_scale = 1.0);  // 4 nodes
+ClusterConfig ec2_preset(int instances, double data_scale = 1.0);
+
+// A named time-vs-iteration curve (one line in Figs. 4-9, 16, 18, 20).
+struct Series {
+  std::string label;
+  std::vector<double> cumulative_sec;  // per completed iteration
+
+  double total() const {
+    return cumulative_sec.empty() ? 0.0 : cumulative_sec.back();
+  }
+};
+
+// Builds a curve from a run report.
+Series series_of(const std::string& label, const RunReport& report);
+// The paper's "MapReduce (ex. init.)" curve: the baseline with the per-job
+// initialization subtracted from every point.
+Series series_ex_init(const std::string& label, const RunReport& report);
+
+// --- output helpers ---
+void banner(const std::string& experiment_id, const std::string& title);
+void note(const std::string& text);
+// Prints "expected (paper): ..." / "measured: ..." pair used by
+// EXPERIMENTS.md.
+void expectation(const std::string& paper, const std::string& measured);
+// One column per series, one row per iteration (cumulative seconds).
+void print_series(const std::vector<Series>& series);
+void print_table(const TextTable& table);
+std::string fmt_sec(double ms);
+std::string fmt_ratio(double num, double den);
+std::string fmt_pct(double num, double den);
+
+}  // namespace imr::bench

@@ -1,0 +1,61 @@
+#include "cluster/cluster.h"
+
+namespace imr {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  IMR_CHECK(config_.num_workers > 0);
+  IMR_CHECK(config_.map_slots_per_worker > 0);
+  IMR_CHECK(config_.reduce_slots_per_worker > 0);
+  dfs_ = std::make_unique<MiniDfs>(config_.num_workers, config_.cost,
+                                   metrics_, config_.seed);
+  fabric_ = std::make_unique<Fabric>(config_.cost, metrics_);
+  speeds_.assign(static_cast<std::size_t>(config_.num_workers), 1.0);
+  alive_.assign(static_cast<std::size_t>(config_.num_workers), true);
+}
+
+void Cluster::set_worker_speed(int worker, double speed) {
+  check_worker(worker);
+  IMR_CHECK(speed > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  speeds_[static_cast<std::size_t>(worker)] = speed;
+}
+
+double Cluster::worker_speed(int worker) const {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  return speeds_[static_cast<std::size_t>(worker)];
+}
+
+void Cluster::schedule_worker_failure(int worker, int at_iteration) {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_failures_[worker] = at_iteration;
+}
+
+bool Cluster::worker_failed(int worker, int finished_iteration) const {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scheduled_failures_.find(worker);
+  return it != scheduled_failures_.end() && finished_iteration >= it->second;
+}
+
+void Cluster::mark_dead(int worker) {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_[static_cast<std::size_t>(worker)] = false;
+}
+
+bool Cluster::worker_alive(int worker) const {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_[static_cast<std::size_t>(worker)];
+}
+
+void Cluster::revive_worker(int worker) {
+  check_worker(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_[static_cast<std::size_t>(worker)] = true;
+  scheduled_failures_.erase(worker);
+}
+
+}  // namespace imr

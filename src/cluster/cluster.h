@@ -1,0 +1,86 @@
+// Cluster — the in-process stand-in for a cluster of slave workers plus the
+// shared services (DFS, network fabric, metrics, cost model).
+//
+// Workers are descriptors, not threads: each engine spawns one real thread
+// per task and homes it on a worker. A worker contributes map/reduce task
+// slots, a relative compute speed (for heterogeneous-cluster experiments,
+// §3.4.2), and an alive flag driven by the failure injector (§3.4.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/error.h"
+#include "dfs/mini_dfs.h"
+#include "metrics/metrics.h"
+#include "net/fabric.h"
+
+namespace imr {
+
+struct ClusterConfig {
+  int num_workers = 4;
+  int map_slots_per_worker = 2;    // Hadoop's default: two per slave
+  int reduce_slots_per_worker = 2;
+  CostModel cost;
+  uint64_t seed = 17;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_workers() const { return config_.num_workers; }
+  int map_slots() const {
+    return config_.num_workers * config_.map_slots_per_worker;
+  }
+  int reduce_slots() const {
+    return config_.num_workers * config_.reduce_slots_per_worker;
+  }
+
+  const ClusterConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+  MetricsRegistry& metrics() { return metrics_; }
+  MiniDfs& dfs() { return *dfs_; }
+  Fabric& fabric() { return *fabric_; }
+
+  // --- heterogeneity ---
+  // speed = 1.0 is nominal; 0.5 runs user compute twice as slow.
+  void set_worker_speed(int worker, double speed);
+  double worker_speed(int worker) const;
+
+  // --- failure injection ---
+  // Schedule worker `w` to fail once any task on it finishes iteration
+  // `at_iteration`. Tasks poll `worker_failed` at iteration boundaries; the
+  // engine's master marks the worker dead and recovers (§3.4.1).
+  void schedule_worker_failure(int worker, int at_iteration);
+  // True when a failure is scheduled at or before `finished_iteration`.
+  bool worker_failed(int worker, int finished_iteration) const;
+  void mark_dead(int worker);
+  bool worker_alive(int worker) const;
+  void revive_worker(int worker);
+
+ private:
+  void check_worker(int worker) const {
+    IMR_CHECK_MSG(worker >= 0 && worker < config_.num_workers,
+                  "worker id out of range");
+  }
+
+  ClusterConfig config_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<MiniDfs> dfs_;
+  std::unique_ptr<Fabric> fabric_;
+
+  mutable std::mutex mu_;
+  std::vector<double> speeds_;
+  std::vector<bool> alive_;
+  std::map<int, int> scheduled_failures_;  // worker -> iteration
+};
+
+}  // namespace imr

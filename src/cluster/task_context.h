@@ -1,0 +1,71 @@
+// TaskContext — everything a running task needs: its identity, the worker it
+// is homed on, its virtual clock, and costed access to compute, DFS, and the
+// network fabric.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/sim_time.h"
+
+namespace imr {
+
+class TaskContext {
+ public:
+  TaskContext(Cluster& cluster, std::string task_name, int worker,
+              int64_t start_vt_ns = 0)
+      : cluster_(cluster),
+        task_name_(std::move(task_name)),
+        worker_(worker),
+        vt_(start_vt_ns) {}
+
+  Cluster& cluster() { return cluster_; }
+  const std::string& task_name() const { return task_name_; }
+  int worker() const { return worker_; }
+  void set_worker(int w) { worker_ = w; }  // task migration
+  VClock& vt() { return vt_; }
+
+  // Charge measured user-function CPU time, scaled by the cost model and the
+  // worker's speed factor.
+  void charge_compute(int64_t cpu_ns, TimeCategory cat = TimeCategory::kCompute) {
+    double scale = cluster_.cost().compute_scale;
+    if (scale <= 0 || cpu_ns <= 0) return;
+    double speed = cluster_.worker_speed(worker_);
+    auto d = SimDuration(
+        static_cast<int64_t>(static_cast<double>(cpu_ns) * scale / speed));
+    vt_.advance(d);
+    cluster_.metrics().add_time(cat, d);
+  }
+
+  // Charge a fixed cost (job/task initialization, cleanup).
+  void charge(SimDuration d, TimeCategory cat) {
+    vt_.advance(d);
+    cluster_.metrics().add_time(cat, d);
+  }
+
+  // Costed sends through the fabric from this task.
+  void send(Endpoint& to, NetMessage msg, TrafficCategory category) {
+    cluster_.fabric().send(worker_, vt_, to, std::move(msg), category);
+  }
+
+  // DFS helpers that charge against this task's clock.
+  KVVec dfs_read_all(const std::string& path) {
+    return cluster_.dfs().read_all(path, worker_, &vt_);
+  }
+  KVVec dfs_read_split(const InputSplit& split) {
+    return cluster_.dfs().read_split(split, worker_, &vt_);
+  }
+  void dfs_write(const std::string& path, KVVec records,
+                 TrafficCategory category = TrafficCategory::kDfsWrite) {
+    cluster_.dfs().write_file(path, std::move(records), worker_, &vt_,
+                              category);
+  }
+
+ private:
+  Cluster& cluster_;
+  std::string task_name_;
+  int worker_;
+  VClock vt_;
+};
+
+}  // namespace imr

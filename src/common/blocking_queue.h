@@ -1,0 +1,91 @@
+// Unbounded MPMC blocking queue with close semantics.
+//
+// Used for every data channel in the runtime. The queues are unbounded by
+// design: the shuffle fan-in (n map tasks into one reduce task) would
+// otherwise be able to deadlock under bounded capacity, and the datasets the
+// in-process cluster handles fit comfortably in memory.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace imr {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Pushes an item. Pushing to a closed queue silently drops the item (a
+  // late producer racing a consumer-side shutdown is normal during
+  // termination and rollback).
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  // Returns nullopt only on closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Closes the queue: wakes all blocked consumers; further pushes are
+  // dropped; pops drain remaining items then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Reopens a closed queue and discards any stale items. Used when a
+  // persistent task is rolled back and its channels must be reset.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    items_.clear();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace imr

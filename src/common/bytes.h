@@ -1,0 +1,53 @@
+// Core byte-string and key-value record types shared by every layer.
+//
+// The framework is type-erased at the record level, like Hadoop's
+// Writable-based pipeline: keys and values travel as byte strings, and user
+// code (or the typed adapters in codec.h) is responsible for encoding.
+// Keeping records as bytes is what makes the communication accounting in
+// net/ and dfs/ byte-accurate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace imr {
+
+// Owned byte string. std::string is used deliberately: it has the small
+// buffer optimization, is hashable, and comparisons are lexicographic,
+// which the sort/shuffle layers rely on (codecs are order-preserving).
+using Bytes = std::string;
+using BytesView = std::string_view;
+
+// One record flowing through the system.
+struct KV {
+  Bytes key;
+  Bytes value;
+
+  KV() = default;
+  KV(Bytes k, Bytes v) : key(std::move(k)), value(std::move(v)) {}
+
+  // Wire size of this record: used by the cost model and traffic counters.
+  // 8 bytes of framing approximates the length prefixes on the wire.
+  std::size_t wire_size() const { return key.size() + value.size() + 8; }
+
+  friend bool operator==(const KV& a, const KV& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  friend bool operator<(const KV& a, const KV& b) {
+    return a.key != b.key ? a.key < b.key : a.value < b.value;
+  }
+};
+
+using KVVec = std::vector<KV>;
+
+// Total wire size of a batch of records.
+inline std::size_t wire_size(const KVVec& kvs) {
+  std::size_t n = 0;
+  for (const KV& kv : kvs) n += kv.wire_size();
+  return n;
+}
+
+}  // namespace imr

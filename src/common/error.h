@@ -1,0 +1,66 @@
+// Error handling: the framework uses exceptions (per C++ Core Guidelines E.2)
+// for conditions that the local code cannot reasonably handle, plus CHECK
+// macros for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace imr {
+
+// Base class for all framework errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A malformed record, bad codec input, or unparsable file.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format: " + what) {}
+};
+
+// DFS namespace errors (missing path, double create, ...).
+class DfsError : public Error {
+ public:
+  explicit DfsError(const std::string& what) : Error("dfs: " + what) {}
+};
+
+// Bad job configuration detected at submission time.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+// Thrown inside a task when the failure injector or the master kills it.
+// Engines catch this at the task boundary; it must not escape a job run.
+class TaskKilled : public Error {
+ public:
+  explicit TaskKilled(const std::string& what) : Error("killed: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace imr
+
+// Invariant check that throws imr::Error. Always on (these guard framework
+// invariants, not user input; they are cheap relative to I/O costs).
+#define IMR_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::imr::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define IMR_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::imr::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

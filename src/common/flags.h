@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for the tools and examples:
+// --key=value / --key value / --switch.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace imr {
+
+class Flags {
+ public:
+  // Parses argv; non-flag arguments are collected as positionals.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt) const;
+  int64_t get_int(const std::string& name, int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name) const;  // present => true
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace imr

@@ -1,0 +1,29 @@
+// Stable hashing for partitioning.
+//
+// std::hash is implementation-defined; the shuffle partitioner must be stable
+// across builds so that tests asserting partition contents and the DFS
+// replica placement are deterministic. FNV-1a is simple and good enough for
+// key distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+inline uint64_t fnv1a(BytesView data, uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// The default partitioner used by both engines: hash-mod over key bytes.
+inline uint32_t partition_of(BytesView key, uint32_t num_partitions) {
+  return static_cast<uint32_t>(fnv1a(key) % num_partitions);
+}
+
+}  // namespace imr

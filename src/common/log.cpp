@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace imr {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  using namespace std::chrono;
+  auto now = duration_cast<milliseconds>(
+                 steady_clock::now().time_since_epoch())
+                 .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld %s] %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_name(level),
+               msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace imr

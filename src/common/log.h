@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// The engines log task lifecycle events at DEBUG and job milestones at INFO;
+// benches set WARN to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace imr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace imr
+
+#define IMR_LOG(level)                                     \
+  if (static_cast<int>(::imr::LogLevel::level) <           \
+      static_cast<int>(::imr::log_level())) {              \
+  } else                                                   \
+    ::imr::detail::LogStream(::imr::LogLevel::level)
+
+#define IMR_DEBUG IMR_LOG(kDebug)
+#define IMR_INFO IMR_LOG(kInfo)
+#define IMR_WARN IMR_LOG(kWarn)
+#define IMR_ERROR IMR_LOG(kError)

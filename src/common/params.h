@@ -1,0 +1,62 @@
+// String-keyed job parameters, mirroring Hadoop's JobConf key/value space
+// (e.g. "mapred.iterjob.maxiter"). Typed getters throw ConfigError on
+// missing keys unless a default is supplied.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.h"
+
+namespace imr {
+
+class Params {
+ public:
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  void set_int(const std::string& key, int64_t v) {
+    values_[key] = std::to_string(v);
+  }
+  void set_double(const std::string& key, double v) {
+    values_[key] = std::to_string(v);
+  }
+  void set_bool(const std::string& key, bool v) {
+    values_[key] = v ? "true" : "false";
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) throw ConfigError("missing parameter: " + key);
+    return it->second;
+  }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  int64_t get_int(const std::string& key) const { return std::stoll(get(key)); }
+  int64_t get_int(const std::string& key, int64_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stoll(it->second);
+  }
+  double get_double(const std::string& key) const { return std::stod(get(key)); }
+  double get_double(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stod(it->second);
+  }
+  bool get_bool(const std::string& key, bool dflt) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    return it->second == "true" || it->second == "1";
+  }
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace imr

@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace imr {
+
+std::vector<uint64_t> Rng::sample_distinct(uint64_t n, std::size_t k) {
+  IMR_CHECK_MSG(k <= n, "cannot sample more distinct values than the range");
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    uint64_t v = uniform(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace imr

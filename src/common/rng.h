@@ -1,0 +1,52 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All generators take explicit seeds so that every dataset, partition, and
+// failure schedule in tests and benches is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace imr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t next_u64() { return engine_(); }
+
+  // Uniform in [0, n).
+  uint64_t uniform(uint64_t n) {
+    std::uniform_int_distribution<uint64_t> d(0, n - 1);
+    return d(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  // Log-normal with the given shape (sigma) and scale (mu) parameters —
+  // the paper's degree and weight distributions (§4.1.2).
+  double log_normal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  double gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  // Sample k distinct values from [0, n) (k << n expected).
+  std::vector<uint64_t> sample_distinct(uint64_t n, std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace imr

@@ -1,0 +1,27 @@
+#include "common/sim_time.h"
+
+#include <ctime>
+
+namespace imr {
+
+SimDuration transfer_time(std::size_t bytes, double bytes_per_sec) {
+  if (bytes_per_sec <= 0) return SimDuration(0);
+  double secs = static_cast<double>(bytes) / bytes_per_sec;
+  return SimDuration(static_cast<int64_t>(secs * 1e9));
+}
+
+namespace {
+int64_t thread_cpu_now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000ll + ts.tv_nsec;
+}
+}  // namespace
+
+void ThreadCpuTimer::reset() { start_ns_ = thread_cpu_now_ns(); }
+
+int64_t ThreadCpuTimer::elapsed_ns() const {
+  return thread_cpu_now_ns() - start_ns_;
+}
+
+}  // namespace imr

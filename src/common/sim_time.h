@@ -1,0 +1,101 @@
+// Virtual (simulated) time.
+//
+// The in-process cluster runs tasks on real threads but measures time on a
+// virtual clock, discrete-event style: every task owns a VClock; charged
+// costs (job init, DFS I/O, network transfer, scaled compute) advance it, and
+// every message carries the virtual timestamp at which it becomes available
+// at the receiver, who then syncs forward. Barriers are therefore max() over
+// the participating clocks — which is exactly how the paper's synchronization
+// overheads (and iMapReduce's asynchronous-map savings) manifest.
+//
+// This gives deterministic, hardware-independent timing: a benchmark run on a
+// 1-core box reports the same simulated seconds as on a 64-core box, and the
+// cost-model constants are calibrated directly against the paper's cluster.
+//
+// User-function compute is measured with the per-thread CPU clock (so that
+// physical time-slicing between the many worker threads does not pollute the
+// measurement) and converted to virtual time by a configurable scale factor.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace imr {
+
+// Simulated durations in nanoseconds of virtual time.
+using SimDuration = std::chrono::nanoseconds;
+
+inline SimDuration sim_ms(double ms) {
+  return SimDuration(static_cast<int64_t>(ms * 1e6));
+}
+inline SimDuration sim_us(double us) {
+  return SimDuration(static_cast<int64_t>(us * 1e3));
+}
+inline SimDuration sim_sec(double s) {
+  return SimDuration(static_cast<int64_t>(s * 1e9));
+}
+inline double sim_to_ms(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+inline double sim_to_sec(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+// Virtual duration for moving `bytes` at `bytes_per_sec`.
+SimDuration transfer_time(std::size_t bytes, double bytes_per_sec);
+
+// A task-local virtual clock. Not thread-safe by design: each task thread
+// owns exactly one; cross-task synchronization happens via message
+// timestamps.
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(int64_t start_ns) : now_ns_(start_ns) {}
+
+  int64_t now_ns() const { return now_ns_; }
+  double now_ms() const { return static_cast<double>(now_ns_) / 1e6; }
+
+  void advance(SimDuration d) {
+    if (d.count() > 0) now_ns_ += d.count();
+  }
+
+  // Jump forward to `t` if it is in the future (receiving a message, passing
+  // a barrier). Never moves backwards.
+  void sync_to(int64_t t_ns) { now_ns_ = std::max(now_ns_, t_ns); }
+
+  void reset(int64_t t_ns) { now_ns_ = t_ns; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+// Measures CPU time consumed by the calling thread between construction /
+// reset() and elapsed(). Immune to preemption by other worker threads.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+  void reset();
+  int64_t elapsed_ns() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+// Plain wall-clock stopwatch (used only for meta-reporting of how long the
+// benches themselves take, never for simulated results).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace imr

@@ -1,0 +1,26 @@
+// String formatting helpers used by reports and loaders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Human-readable byte count ("1.2 MB").
+std::string human_bytes(std::size_t bytes);
+
+// Human-readable count ("1.5M", "310K").
+std::string human_count(uint64_t n);
+
+// Fixed-precision double.
+std::string fmt_double(double v, int precision);
+
+// printf-style convenience.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace imr

@@ -1,0 +1,111 @@
+// MiniDfs — an in-process stand-in for HDFS.
+//
+// Files are sequences of KV records, chunked into blocks with replica
+// placement across workers. Reads and writes charge virtual time against the
+// caller's clock: a block read is charged at the local rate when the reading
+// worker holds a replica and the remote rate otherwise; a write is charged at
+// the (replication-pipeline) write rate, and the replication copies count as
+// remote traffic.
+//
+// The MapReduce engine uses block-aligned input splits with preferred
+// (replica-holding) workers, which is how Hadoop's locality optimization is
+// reproduced: the scheduler places map tasks on preferred workers when a slot
+// is available.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "metrics/metrics.h"
+
+namespace imr {
+
+// A contiguous range of records of one file, plus the workers that hold all
+// of its blocks locally (empty when no single worker holds all of them).
+struct InputSplit {
+  std::string path;
+  std::size_t begin = 0;  // record index, inclusive
+  std::size_t end = 0;    // record index, exclusive
+  std::size_t bytes = 0;
+  std::vector<int> preferred_workers;
+};
+
+class MiniDfs {
+ public:
+  MiniDfs(int num_workers, const CostModel& cost, MetricsRegistry& metrics,
+          uint64_t seed = 17);
+
+  MiniDfs(const MiniDfs&) = delete;
+  MiniDfs& operator=(const MiniDfs&) = delete;
+
+  // Creates (or replaces) a file. Charges write cost to `vt` if non-null.
+  // `category` distinguishes normal writes from checkpoint dumps.
+  void write_file(const std::string& path, KVVec records, int writer_worker,
+                  VClock* vt,
+                  TrafficCategory category = TrafficCategory::kDfsWrite);
+
+  // Reads the whole file; charges read cost to `vt` if non-null.
+  KVVec read_all(const std::string& path, int reader_worker, VClock* vt,
+                 TrafficCategory category = TrafficCategory::kDfsRead) const;
+
+  // Reads the record range of one split (blocks are charged individually,
+  // local vs remote depending on the reader).
+  KVVec read_split(const InputSplit& split, int reader_worker, VClock* vt,
+                   TrafficCategory category = TrafficCategory::kDfsRead) const;
+
+  // Reads the records whose key hashes to partition `index` of
+  // `num_partitions` (the hash-partitioned share a persistent task owns).
+  // Charges only the selected records' bytes, locality per block — modeling
+  // a graph pre-partitioned on DFS (§3.2: "iMapReduce supports automatic
+  // graph partitioning and graph loading").
+  KVVec read_partition(const std::string& path, uint32_t index,
+                       uint32_t num_partitions, int reader_worker, VClock* vt,
+                       TrafficCategory category = TrafficCategory::kDfsRead) const;
+
+  // Splits a file into up to `desired_splits` block-aligned splits.
+  std::vector<InputSplit> make_splits(const std::string& path,
+                                      int desired_splits) const;
+
+  bool exists(const std::string& path) const;
+  void remove(const std::string& path);
+  // All paths with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+  std::size_t file_bytes(const std::string& path) const;
+  std::size_t file_records(const std::string& path) const;
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  struct Block {
+    std::size_t begin = 0;  // record range [begin, end)
+    std::size_t end = 0;
+    std::size_t bytes = 0;
+    std::vector<int> replicas;
+  };
+  struct File {
+    KVVec records;
+    std::size_t bytes = 0;
+    std::vector<Block> blocks;
+  };
+
+  const File& get_file_locked(const std::string& path) const;
+  std::vector<int> place_replicas(int writer_worker);
+  void charge_read_block(const Block& b, std::size_t bytes, int reader,
+                         VClock* vt, TrafficCategory category) const;
+
+  int num_workers_;
+  const CostModel& cost_;
+  MetricsRegistry& metrics_;
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+  Rng rng_;
+};
+
+}  // namespace imr

@@ -1,0 +1,97 @@
+#include "graph/formats.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace imr {
+
+Graph parse_adjacency_text(const std::string& text, bool weighted) {
+  Graph g;
+  g.weighted = weighted;
+  uint32_t max_node = 0;
+  struct Row {
+    uint32_t u;
+    std::vector<WEdge> edges;
+  };
+  std::vector<Row> rows;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) tab = line.find(' ');
+    if (tab == std::string::npos) {
+      throw FormatError("adjacency line without separator: " + line);
+    }
+    Row row;
+    try {
+      row.u = static_cast<uint32_t>(std::stoul(line.substr(0, tab)));
+    } catch (const std::exception&) {
+      throw FormatError("bad node id in line: " + line);
+    }
+    max_node = std::max(max_node, row.u);
+    std::string rest = line.substr(tab + 1);
+    if (!rest.empty()) {
+      for (const std::string& part : split(rest, ',')) {
+        if (part.empty()) continue;
+        WEdge e;
+        try {
+          std::size_t used = 0;
+          if (weighted) {
+            std::size_t colon = part.find(':');
+            if (colon == std::string::npos) {
+              throw FormatError("weighted edge without ':' in: " + line);
+            }
+            std::string id = part.substr(0, colon);
+            e.dst = static_cast<uint32_t>(std::stoul(id, &used));
+            if (used != id.size()) throw FormatError("bad edge id: " + line);
+            std::string w = part.substr(colon + 1);
+            e.weight = std::stod(w, &used);
+            if (used != w.size()) throw FormatError("bad weight: " + line);
+          } else {
+            e.dst = static_cast<uint32_t>(std::stoul(part, &used));
+            if (used != part.size()) {
+              throw FormatError("trailing characters in edge: " + line);
+            }
+            e.weight = 1.0;
+          }
+        } catch (const FormatError&) {
+          throw;
+        } catch (const std::exception&) {
+          throw FormatError("bad edge in line: " + line);
+        }
+        max_node = std::max(max_node, e.dst);
+        row.edges.push_back(e);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  g.adj.resize(max_node + 1);
+  for (Row& row : rows) {
+    g.adj[row.u] = std::move(row.edges);
+  }
+  return g;
+}
+
+std::string to_adjacency_text(const Graph& g) {
+  std::ostringstream os;
+  os.precision(17);  // shortest round-trippable double would be nicer, but
+                     // 17 significant digits always round-trips
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    os << u << '\t';
+    const auto& edges = g.adj[u];
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i) os << ',';
+      os << edges[i].dst;
+      if (g.weighted) os << ':' << edges[i].weight;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace imr

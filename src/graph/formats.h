@@ -1,0 +1,20 @@
+// Text formats for graphs (the "particular formatted graphs" iMapReduce
+// supports loading, §3.5): one line per node,
+//   weighted:    "<u>\t<v1>:<w1>,<v2>:<w2>,..."
+//   unweighted:  "<u>\t<v1>,<v2>,..."
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace imr {
+
+// Parses adjacency-list text; node ids must be < num_nodes implied by the
+// maximum id seen. Throws FormatError on malformed lines.
+Graph parse_adjacency_text(const std::string& text, bool weighted);
+
+// Serializes a graph back to the same format.
+std::string to_adjacency_text(const Graph& g);
+
+}  // namespace imr

@@ -1,0 +1,127 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace imr {
+
+std::size_t Graph::file_bytes() const {
+  // state (8B distance/rank) + per-edge (4B target [+8B weight]) + framing.
+  std::size_t per_edge = weighted ? 12 : 4;
+  return num_nodes() * 20 + num_edges() * per_edge;
+}
+
+GraphStats stats_of(const std::string& name, const Graph& g) {
+  GraphStats s;
+  s.name = name;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  s.file_bytes = g.file_bytes();
+  return s;
+}
+
+Graph generate_lognormal_graph(const LogNormalGraphSpec& spec) {
+  IMR_CHECK(spec.num_nodes > 1);
+  Rng rng(spec.seed);
+  Graph g;
+  g.weighted = spec.weighted;
+  g.adj.resize(spec.num_nodes);
+
+  const uint32_t n = spec.num_nodes;
+  for (uint32_t u = 0; u < n; ++u) {
+    double draw = rng.log_normal(spec.degree_mu, spec.degree_sigma);
+    auto degree = static_cast<uint32_t>(std::min<double>(
+        std::llround(draw), static_cast<double>(n - 1)));
+    auto& edges = g.adj[u];
+    edges.reserve(degree);
+    // Sample targets with replacement and dedupe — O(d) and indistinguishable
+    // from distinct sampling at d << n.
+    for (uint32_t d = 0; d < degree; ++d) {
+      auto v = static_cast<uint32_t>(rng.uniform(n));
+      if (v == u) continue;
+      WEdge e;
+      e.dst = v;
+      e.weight = spec.weighted
+                     ? rng.log_normal(spec.weight_mu, spec.weight_sigma)
+                     : 1.0;
+      edges.push_back(e);
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const WEdge& a, const WEdge& b) { return a.dst < b.dst; });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const WEdge& a, const WEdge& b) {
+                              return a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+  return g;
+}
+
+namespace {
+
+uint32_t scaled(uint32_t published, double scale) {
+  auto v = static_cast<uint32_t>(static_cast<double>(published) * scale);
+  return std::max<uint32_t>(v, 64);
+}
+
+}  // namespace
+
+Graph make_sssp_graph(const std::string& name, double scale, uint64_t seed) {
+  LogNormalGraphSpec spec;
+  spec.weighted = true;
+  spec.degree_mu = 1.5;
+  spec.degree_sigma = 1.0;
+  spec.weight_mu = 0.4;
+  spec.weight_sigma = 1.2;
+  spec.seed = seed;
+  if (name == "dblp") {
+    // 310,556 nodes / 1,518,617 edges: avg degree ~4.9 -> mu = ln(4.9)-0.5.
+    spec.num_nodes = scaled(310556, scale);
+    spec.degree_mu = std::log(4.9) - 0.5;
+  } else if (name == "facebook") {
+    // 1,204,004 nodes / 5,430,303 edges: avg degree ~4.5.
+    spec.num_nodes = scaled(1204004, scale);
+    spec.degree_mu = std::log(4.5) - 0.5;
+  } else if (name == "sssp-s") {
+    spec.num_nodes = scaled(1000000, scale);
+  } else if (name == "sssp-m") {
+    spec.num_nodes = scaled(10000000, scale);
+  } else if (name == "sssp-l") {
+    spec.num_nodes = scaled(50000000, scale);
+  } else {
+    throw ConfigError("unknown SSSP graph: " + name);
+  }
+  return generate_lognormal_graph(spec);
+}
+
+Graph make_pagerank_graph(const std::string& name, double scale,
+                          uint64_t seed) {
+  LogNormalGraphSpec spec;
+  spec.weighted = false;
+  spec.degree_mu = -0.5;
+  spec.degree_sigma = 2.0;
+  spec.seed = seed;
+  if (name == "google") {
+    // 916,417 nodes / 6,078,254 edges: avg degree ~6.6.
+    spec.num_nodes = scaled(916417, scale);
+    spec.degree_mu = std::log(6.6) - 2.0;
+  } else if (name == "berkstan") {
+    // 685,230 nodes / 7,600,595 edges: avg degree ~11.1.
+    spec.num_nodes = scaled(685230, scale);
+    spec.degree_mu = std::log(11.1) - 2.0;
+  } else if (name == "pagerank-s") {
+    spec.num_nodes = scaled(1000000, scale);
+  } else if (name == "pagerank-m") {
+    spec.num_nodes = scaled(10000000, scale);
+  } else if (name == "pagerank-l") {
+    spec.num_nodes = scaled(30000000, scale);
+  } else {
+    throw ConfigError("unknown PageRank graph: " + name);
+  }
+  return generate_lognormal_graph(spec);
+}
+
+}  // namespace imr

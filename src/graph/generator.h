@@ -1,0 +1,45 @@
+// Synthetic graph generators reproducing the paper's data sets (§4.1.2).
+//
+// The paper extracts log-normal parameters from its real graphs and generates
+// synthetics from them; the real graphs themselves (DBLP, Facebook, Google
+// web, Berkeley-Stanford) are not redistributable here, so each one is
+// replaced by a distribution-matched synthetic at (scaled) published size.
+//
+//   SSSP graphs:      out-degree ~ LogNormal(mu=1.5, sigma=1.0),
+//                     link weight ~ LogNormal(mu=0.4, sigma=1.2)
+//   PageRank graphs:  out-degree ~ LogNormal(mu=-0.5, sigma=2.0), unweighted
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace imr {
+
+struct LogNormalGraphSpec {
+  uint32_t num_nodes = 1000;
+  double degree_mu = 1.5;
+  double degree_sigma = 1.0;
+  bool weighted = true;
+  double weight_mu = 0.4;
+  double weight_sigma = 1.2;
+  uint64_t seed = 42;
+};
+
+// Generates a directed graph with log-normal out-degrees (capped at
+// num_nodes - 1) and uniformly random distinct targets; weights are
+// log-normal when `weighted`.
+Graph generate_lognormal_graph(const LogNormalGraphSpec& spec);
+
+// The paper's SSSP data sets (Table 1), scaled by `scale` (1.0 = published
+// node counts). DBLP/Facebook stand-ins use the same generator with the
+// published node counts and average degrees.
+Graph make_sssp_graph(const std::string& name, double scale, uint64_t seed);
+
+// The paper's PageRank data sets (Table 2): google, berkstan,
+// pagerank-s/m/l.
+Graph make_pagerank_graph(const std::string& name, double scale,
+                          uint64_t seed);
+
+}  // namespace imr

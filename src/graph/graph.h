@@ -1,0 +1,39 @@
+// In-memory directed graph used by generators, loaders, and the sequential
+// reference implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"  // WEdge
+
+namespace imr {
+
+struct Graph {
+  bool weighted = false;
+  std::vector<std::vector<WEdge>> adj;  // adj[u] = out-edges of u
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(adj.size()); }
+  uint64_t num_edges() const {
+    uint64_t e = 0;
+    for (const auto& v : adj) e += v.size();
+    return e;
+  }
+
+  // Approximate serialized size (the "File size" column of Tables 1 and 2):
+  // the byte count of the joined state+static records the MapReduce baseline
+  // reads each iteration.
+  std::size_t file_bytes() const;
+};
+
+// Statistics row for the dataset tables.
+struct GraphStats {
+  std::string name;
+  uint32_t nodes = 0;
+  uint64_t edges = 0;
+  std::size_t file_bytes = 0;
+};
+
+GraphStats stats_of(const std::string& name, const Graph& g);
+
+}  // namespace imr

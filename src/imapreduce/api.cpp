@@ -1,0 +1,87 @@
+#include "imapreduce/api.h"
+
+namespace imr {
+
+namespace {
+
+class LambdaIterMapper : public IterMapper {
+ public:
+  using MapFn =
+      std::function<void(const Bytes&, const Bytes&, const Bytes&, IterEmitter&)>;
+  using MapAllFn =
+      std::function<void(const Bytes&, const Bytes&, const KVVec&, IterEmitter&)>;
+
+  explicit LambdaIterMapper(MapFn fn) : map_fn_(std::move(fn)) {}
+  explicit LambdaIterMapper(MapAllFn fn) : map_all_fn_(std::move(fn)) {}
+
+  void map(const Bytes& key, const Bytes& state, const Bytes& stat,
+           IterEmitter& out) override {
+    if (!map_fn_) throw Error("one2one map() not implemented");
+    map_fn_(key, state, stat, out);
+  }
+
+  void map_all(const Bytes& key, const Bytes& stat, const KVVec& states,
+               IterEmitter& out) override {
+    if (!map_all_fn_) throw Error("one2all map_all() not implemented");
+    map_all_fn_(key, stat, states, out);
+  }
+
+ private:
+  MapFn map_fn_;
+  MapAllFn map_all_fn_;
+};
+
+class LambdaIterReducer : public IterReducer {
+ public:
+  using ReduceFn =
+      std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>;
+  using DistFn = std::function<double(const Bytes&, const Bytes&, const Bytes&)>;
+
+  LambdaIterReducer(ReduceFn reduce_fn, DistFn dist_fn)
+      : reduce_fn_(std::move(reduce_fn)), dist_fn_(std::move(dist_fn)) {}
+
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              IterEmitter& out) override {
+    reduce_fn_(key, values, out);
+  }
+
+  double distance(const Bytes& key, const Bytes& prev,
+                  const Bytes& cur) override {
+    return dist_fn_ ? dist_fn_(key, prev, cur) : 0.0;
+  }
+
+ private:
+  ReduceFn reduce_fn_;
+  DistFn dist_fn_;
+};
+
+}  // namespace
+
+IterMapperFactory make_iter_mapper(
+    std::function<void(const Bytes&, const Bytes&, const Bytes&, IterEmitter&)>
+        fn) {
+  return [fn = std::move(fn)] {
+    return std::make_unique<LambdaIterMapper>(fn);
+  };
+}
+
+IterMapperFactory make_iter_mapper_all(
+    std::function<void(const Bytes&, const Bytes&, const KVVec&, IterEmitter&)>
+        fn) {
+  return [fn = std::move(fn)] {
+    return std::make_unique<LambdaIterMapper>(fn);
+  };
+}
+
+IterReducerFactory make_iter_reducer(
+    std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>
+        reduce_fn,
+    std::function<double(const Bytes&, const Bytes&, const Bytes&)>
+        distance_fn) {
+  return [reduce_fn = std::move(reduce_fn),
+          distance_fn = std::move(distance_fn)] {
+    return std::make_unique<LambdaIterReducer>(reduce_fn, distance_fn);
+  };
+}
+
+}  // namespace imr

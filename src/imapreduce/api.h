@@ -1,0 +1,107 @@
+// iMapReduce programming interface (§3.5).
+//
+// Compared to classic MapReduce, the map function takes TWO values for a key:
+// the iterated *state* value and the immutable *static* value; the framework
+// performs the state/static join automatically (§3.2.2). The reduce function
+// sees state data only, and additionally supplies the distance() used for
+// threshold-based termination (§3.1.2).
+//
+// Mapper/Reducer instances are PERSISTENT: one instance per task, living
+// across all iterations (the persistent-task model, §3.1.1). They may keep
+// state between iterations — the K-means auxiliary convergence detector
+// (§5.3) relies on this to remember the previous iteration's assignments.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/params.h"
+#include "mapreduce/api.h"  // Emitter
+
+namespace imr {
+
+// Emitter with an auxiliary side channel: records emitted via side() feed the
+// auxiliary map-reduce phase (§5.3) when one is configured, and are dropped
+// otherwise.
+class IterEmitter : public Emitter {
+ public:
+  virtual void side(Bytes key, Bytes value) = 0;
+};
+
+class IterMapper {
+ public:
+  virtual ~IterMapper() = default;
+  virtual void configure(const Params& /*params*/) {}
+
+  // One-to-one mapping (§3.2): called per joined (state, static) record.
+  // `stat` is empty when the key has no static record (or the phase has no
+  // static data).
+  virtual void map(const Bytes& key, const Bytes& state, const Bytes& stat,
+                   IterEmitter& out) {
+    (void)key;
+    (void)state;
+    (void)stat;
+    (void)out;
+    throw Error("one2one map() not implemented");
+  }
+
+  // Called once at the end of every iteration, after the last map()/
+  // map_all() of the iteration; lets a persistent mapper emit per-iteration
+  // aggregates (the K-means auxiliary convergence detector emits its
+  // "nodes that stayed" count here, §5.3.1).
+  virtual void flush(IterEmitter& /*out*/) {}
+
+  // One-to-all mapping (§5.1): called per static record with the complete
+  // state list gathered from all reduce tasks (e.g. all K-means centroids).
+  virtual void map_all(const Bytes& key, const Bytes& stat,
+                       const KVVec& states, IterEmitter& out) {
+    (void)key;
+    (void)stat;
+    (void)states;
+    (void)out;
+    throw Error("one2all map_all() not implemented");
+  }
+};
+
+class IterReducer {
+ public:
+  virtual ~IterReducer() = default;
+  virtual void configure(const Params& /*params*/) {}
+
+  virtual void reduce(const Bytes& key, const std::vector<Bytes>& values,
+                      IterEmitter& out) = 0;
+
+  // Distance between a key's previous and current state value; summed over
+  // keys and merged across reduce tasks by the master (§3.5). `prev` is
+  // empty on the first iteration.
+  virtual double distance(const Bytes& key, const Bytes& prev,
+                          const Bytes& cur) {
+    (void)key;
+    (void)prev;
+    (void)cur;
+    return 0.0;
+  }
+};
+
+using IterMapperFactory = std::function<std::unique_ptr<IterMapper>()>;
+using IterReducerFactory = std::function<std::unique_ptr<IterReducer>()>;
+
+// Emitting this key from an auxiliary reducer signals the master to
+// terminate the main iterative job (§5.3.2's "termination signals").
+inline const char* kTerminateSignalKey = "__imr_terminate__";
+
+// Lambda adapters for simple user code.
+IterMapperFactory make_iter_mapper(
+    std::function<void(const Bytes&, const Bytes&, const Bytes&, IterEmitter&)>
+        fn);
+IterMapperFactory make_iter_mapper_all(
+    std::function<void(const Bytes&, const Bytes&, const KVVec&, IterEmitter&)>
+        fn);
+IterReducerFactory make_iter_reducer(
+    std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>
+        reduce_fn,
+    std::function<double(const Bytes&, const Bytes&, const Bytes&)> distance_fn =
+        nullptr);
+
+}  // namespace imr

@@ -1,0 +1,34 @@
+#include "imapreduce/control.h"
+
+#include "common/codec.h"
+#include "common/error.h"
+
+namespace imr {
+
+Bytes CtlMsg::encode() const {
+  Bytes b;
+  b.push_back(static_cast<char>(type));
+  encode_u32(static_cast<uint32_t>(task), b);
+  encode_u32(static_cast<uint32_t>(iteration), b);
+  encode_u32(static_cast<uint32_t>(generation), b);
+  encode_u32(static_cast<uint32_t>(worker), b);
+  encode_f64(distance, b);
+  encode_i64(duration_ns, b);
+  return b;
+}
+
+CtlMsg CtlMsg::decode(const Bytes& b) {
+  if (b.empty()) throw FormatError("empty control message");
+  CtlMsg m;
+  m.type = static_cast<CtlType>(b[0]);
+  std::size_t pos = 1;
+  m.task = static_cast<int32_t>(decode_u32(b, pos));
+  m.iteration = static_cast<int32_t>(decode_u32(b, pos));
+  m.generation = static_cast<int32_t>(decode_u32(b, pos));
+  m.worker = static_cast<int32_t>(decode_u32(b, pos));
+  m.distance = decode_f64(b, pos);
+  m.duration_ns = decode_i64(b, pos);
+  return m;
+}
+
+}  // namespace imr

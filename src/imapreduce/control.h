@@ -1,0 +1,38 @@
+// Control-plane messages between the master and persistent tasks.
+//
+// Encoded into NetMessage::control payloads so that they flow through the
+// same costed fabric as data (category kControl).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+enum class CtlType : uint8_t {
+  kContinue = 1,   // master -> reduce: iteration `iter` accepted, proceed
+  kGo = 2,         // master -> map (sync mode): start iteration `iter`
+  kTerminate = 3,  // master -> all: stop; last-phase reduces dump final state
+  kRollback = 4,   // master -> all: restart from checkpoint `iter`, new gen
+  kKill = 5,       // master -> a migrated/failed pair: exit immediately
+  kReport = 6,     // reduce -> master: iteration completion report (§3.4.2)
+  kFailure = 7,    // task -> master: my worker failed (§3.4.1)
+  kDone = 8,       // reduce -> master: final state written
+  kAuxSignal = 9,  // aux reduce -> master: terminate signal (§5.3)
+};
+
+struct CtlMsg {
+  CtlType type = CtlType::kContinue;
+  int32_t task = -1;      // sender task index (reports) or target info
+  int32_t iteration = 0;  // iteration the message refers to
+  int32_t generation = 0; // job generation (bumped on rollback)
+  int32_t worker = -1;    // reporting worker (reports, failure notices)
+  double distance = 0.0;  // local distance (reports)
+  int64_t duration_ns = 0;  // iteration processing time (reports)
+
+  Bytes encode() const;
+  static CtlMsg decode(const Bytes& b);
+};
+
+}  // namespace imr

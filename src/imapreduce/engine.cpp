@@ -1,0 +1,1269 @@
+#include "imapreduce/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "cluster/task_context.h"
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "imapreduce/control.h"
+#include "mapreduce/shuffle_util.h"
+
+namespace imr {
+
+namespace {
+
+std::atomic<uint64_t> g_iterjob_counter{0};
+
+// Map-side emitter: partitions emit() across the phase's reduce tasks and
+// side() across the auxiliary map tasks (dropped when no aux phase).
+class TaskEmitter : public IterEmitter {
+ public:
+  TaskEmitter(int num_partitions, int num_aux_partitions)
+      : buffers_(static_cast<std::size_t>(num_partitions)),
+        aux_buffers_(static_cast<std::size_t>(
+            std::max(0, num_aux_partitions))) {}
+
+  void emit(Bytes key, Bytes value) override {
+    uint32_t p = partition_of(key, static_cast<uint32_t>(buffers_.size()));
+    buffers_[p].emplace_back(std::move(key), std::move(value));
+    ++emitted_;
+  }
+
+  void side(Bytes key, Bytes value) override {
+    if (aux_buffers_.empty()) return;
+    uint32_t p = partition_of(key, static_cast<uint32_t>(aux_buffers_.size()));
+    aux_buffers_[p].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<KVVec>& buffers() { return buffers_; }
+  std::vector<KVVec>& aux_buffers() { return aux_buffers_; }
+  int64_t emitted() const { return emitted_; }
+
+  void clear() {
+    for (auto& b : buffers_) b.clear();
+    for (auto& b : aux_buffers_) b.clear();
+  }
+
+ private:
+  std::vector<KVVec> buffers_;
+  std::vector<KVVec> aux_buffers_;
+  int64_t emitted_ = 0;
+};
+
+// Reduce-side emitter: plain collection; side() feeds nothing here (the
+// engine taps the reduce output itself for reduce-sourced aux phases).
+class CollectEmitter : public IterEmitter {
+ public:
+  explicit CollectEmitter(KVVec& out) : out_(out) {}
+  void emit(Bytes key, Bytes value) override {
+    out_.emplace_back(std::move(key), std::move(value));
+  }
+  void side(Bytes /*key*/, Bytes /*value*/) override {}
+
+ private:
+  KVVec& out_;
+};
+
+// What a task's message loop decided.
+enum class LoopEvent { kIterationReady, kRollback, kTerminate, kKill, kClosed };
+
+// Iteration-aware mailbox wrapper. In asynchronous execution a fast upstream
+// task may legitimately run one iteration ahead and send data tagged with a
+// FUTURE iteration while this task is still collecting the current one
+// (§3.3: maps of iteration k+1 overlap reduces of iteration k). Such
+// messages must be buffered, not discarded; only messages from an older
+// generation or an already-completed iteration are stale.
+class StashedInbox {
+ public:
+  explicit StashedInbox(std::shared_ptr<Endpoint> ep) : ep_(std::move(ep)) {}
+
+  // Returns the next message that is either a control message or a data/EOS
+  // message matching (gen, iter). Buffers future-iteration data; drops
+  // stale-generation and past-iteration messages. nullopt = endpoint closed.
+  std::optional<NetMessage> next(VClock& vt, int gen, int iter) {
+    auto key = std::make_pair(gen, iter);
+    auto it = stash_.find(key);
+    if (it != stash_.end()) {
+      NetMessage msg = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) stash_.erase(it);
+      vt.sync_to(msg.vt_ready);
+      return msg;
+    }
+    // Drop buckets that can never be consumed anymore.
+    while (!stash_.empty() && stash_.begin()->first < key) {
+      stash_.erase(stash_.begin());
+    }
+    while (true) {
+      auto msg = ep_->receive(vt);
+      if (!msg) return std::nullopt;
+      if (msg->kind == NetMessage::Kind::kControl) return msg;
+      if (msg->generation == gen && msg->iteration == iter) return msg;
+      if (msg->generation > gen ||
+          (msg->generation == gen && msg->iteration > iter)) {
+        stash_[{msg->generation, msg->iteration}].push_back(std::move(*msg));
+        continue;
+      }
+      // Older generation or already-finished iteration: stale, drop.
+    }
+  }
+
+ private:
+  std::shared_ptr<Endpoint> ep_;
+  std::map<std::pair<int, int>, std::deque<NetMessage>> stash_;
+};
+
+// One run of an iterative job. Owns endpoints, task threads, and the master
+// protocol state.
+class JobRun {
+ public:
+  JobRun(Cluster& cluster, const IterJobConf& conf)
+      : cluster_(cluster),
+        conf_(conf),
+        cost_(cluster.cost()),
+        tag_(conf.name + "#" + std::to_string(g_iterjob_counter.fetch_add(1))),
+        P_(static_cast<int>(conf.phases.size())),
+        T_(conf.num_tasks > 0 ? conf.num_tasks : default_tasks()) {}
+
+  // Default persistent-task count: fill the cluster's slots (§3.1.1 — the
+  // task granularity is set so that all persistent tasks fit, using the same
+  // slot capacity the classic engine's task waves use).
+  int default_tasks() const {
+    // Phases of one iteration alternate activity, and a dormant persistent
+    // task does not occupy an execution slot (§3.1.1) — so phases share the
+    // slot budget; only the aux phase (which runs concurrently with the
+    // main phase) claims its own share.
+    int aux_maps_share = conf_.aux ? 1 : 0;
+    int aux_reduces = conf_.aux ? conf_.aux->num_reduce_tasks : 0;
+    int by_maps = cluster_.map_slots() / (1 + aux_maps_share);
+    int by_reduces = cluster_.reduce_slots() - aux_reduces;
+    return std::max(1, std::min(by_maps, by_reduces));
+  }
+
+  RunReport execute();
+
+ private:
+  // --- naming ---
+  std::string map_ep_name(int p, int i) const {
+    return tag_ + "/p" + std::to_string(p) + "/m" + std::to_string(i);
+  }
+  std::string red_ep_name(int p, int i) const {
+    return tag_ + "/p" + std::to_string(p) + "/r" + std::to_string(i);
+  }
+  std::string ckpt_path(int iter) const {
+    return "ckpt/" + tag_ + "/it" + std::to_string(iter);
+  }
+
+  // --- endpoint registry (swapped under lock on respawn) ---
+  std::shared_ptr<Endpoint> map_ep(int p, int i) {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    return map_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+  }
+  std::shared_ptr<Endpoint> red_ep(int p, int i) {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    return red_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+  }
+  std::vector<std::shared_ptr<Endpoint>> all_endpoints() {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    std::vector<std::shared_ptr<Endpoint>> all;
+    for (auto& v : map_ep_) all.insert(all.end(), v.begin(), v.end());
+    for (auto& v : red_ep_) all.insert(all.end(), v.begin(), v.end());
+    all.insert(all.end(), aux_map_ep_.begin(), aux_map_ep_.end());
+    all.insert(all.end(), aux_red_ep_.begin(), aux_red_ep_.end());
+    return all;
+  }
+
+  // --- control helpers ---
+  void master_send(VClock& mvt, Endpoint& to, const CtlMsg& ctl) {
+    NetMessage msg;
+    msg.kind = NetMessage::Kind::kControl;
+    msg.from_task = -1;
+    msg.iteration = ctl.iteration;
+    msg.generation = ctl.generation;
+    msg.control = ctl.encode();
+    cluster_.fabric().send(/*sender_worker=*/-1, mvt, to, std::move(msg),
+                           TrafficCategory::kControl);
+  }
+  void task_send_ctl(TaskContext& ctx, const CtlMsg& ctl) {
+    NetMessage msg;
+    msg.kind = NetMessage::Kind::kControl;
+    msg.from_task = ctl.task;
+    msg.iteration = ctl.iteration;
+    msg.generation = ctl.generation;
+    msg.control = ctl.encode();
+    ctx.send(*master_ep_, std::move(msg), TrafficCategory::kControl);
+  }
+
+  // --- data helpers ---
+  void send_batch(TaskContext& ctx, Endpoint& to, KVVec records, int from,
+                  int iter, int gen, TrafficCategory cat) {
+    NetMessage msg;
+    msg.kind = NetMessage::Kind::kData;
+    msg.from_task = from;
+    msg.iteration = iter;
+    msg.generation = gen;
+    msg.records = std::move(records);
+    ctx.send(to, std::move(msg), cat);
+  }
+  void send_eos(TaskContext& ctx, Endpoint& to, int from, int iter, int gen,
+                TrafficCategory cat) {
+    NetMessage msg;
+    msg.kind = NetMessage::Kind::kEos;
+    msg.from_task = from;
+    msg.iteration = iter;
+    msg.generation = gen;
+    ctx.send(to, std::move(msg), cat);
+  }
+
+  // --- task bodies ---
+  void run_map(int p, int i, int gen, int start_iter, int64_t start_vt);
+  void run_reduce(int p, int i, int gen, int start_iter, int64_t start_vt);
+  void run_aux_map(int j);
+  void run_aux_reduce(int j);
+  void master_loop(VClock& mvt);
+
+  // --- spawning ---
+  void spawn(std::function<void()> body) {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads_.emplace_back([this, body = std::move(body)] {
+      try {
+        body();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> elock(error_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        // Unblock everything so the run can unwind.
+        for (auto& ep : all_endpoints()) ep->close();
+        master_ep_->close();
+      }
+    });
+  }
+  void spawn_pair(int i, int gen, int start_iter, int64_t start_vt) {
+    for (int p = 0; p < P_; ++p) {
+      spawn([this, p, i, gen, start_iter, start_vt] {
+        run_map(p, i, gen, start_iter, start_vt);
+      });
+      spawn([this, p, i, gen, start_iter, start_vt] {
+        run_reduce(p, i, gen, start_iter, start_vt);
+      });
+    }
+  }
+
+  // Loads the phase-0 map state input for iteration `ckpt_iter + 1`.
+  KVVec load_map_state(TaskContext& ctx, int i, int ckpt_iter, bool one2all) {
+    if (ckpt_iter <= 0) {
+      if (one2all) return ctx.dfs_read_all(conf_.state_path);
+      return cluster_.dfs().read_partition(conf_.state_path,
+                                           static_cast<uint32_t>(i),
+                                           static_cast<uint32_t>(T_),
+                                           ctx.worker(), &ctx.vt());
+    }
+    return ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/part-" +
+                            std::to_string(i));
+  }
+
+  Cluster& cluster_;
+  const IterJobConf& conf_;
+  const CostModel& cost_;
+  std::string tag_;
+  int P_;
+  int T_;
+  int aux_reduces_ = 0;
+
+  std::shared_ptr<Endpoint> master_ep_;
+  std::mutex ep_mu_;
+  std::vector<std::vector<std::shared_ptr<Endpoint>>> map_ep_;  // [p][i]
+  std::vector<std::vector<std::shared_ptr<Endpoint>>> red_ep_;  // [p][i]
+  std::vector<std::shared_ptr<Endpoint>> aux_map_ep_;           // [i]
+  std::vector<std::shared_ptr<Endpoint>> aux_red_ep_;           // [j]
+
+  std::mutex assign_mu_;
+  std::vector<int> pair_worker_;  // pair index -> worker
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+
+  // Master-filled results.
+  RunReport report_;
+  int64_t final_vt_ = 0;
+
+  int pair_worker(int i) {
+    std::lock_guard<std::mutex> lock(assign_mu_);
+    return pair_worker_[static_cast<std::size_t>(i)];
+  }
+  void set_pair_worker(int i, int w) {
+    std::lock_guard<std::mutex> lock(assign_mu_);
+    pair_worker_[static_cast<std::size_t>(i)] = w;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Map task
+// ---------------------------------------------------------------------------
+
+void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
+  const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
+  const bool one2all = ph.mapping == Mapping::kOne2All;
+  const bool is_phase0 = (p == 0);
+  const bool sync_gate = is_phase0 && !conf_.async_maps && !one2all;
+  const int eos_target = one2all ? T_ : 1;
+  const int num_aux =
+      (conf_.aux && is_phase0 &&
+       conf_.aux->source == AuxConf::Source::kMapSideOutput)
+          ? T_
+          : 0;
+
+  std::shared_ptr<Endpoint> ep = map_ep(p, i);
+  StashedInbox inbox(ep);
+  TaskContext ctx(cluster_, map_ep_name(p, i), pair_worker(i), start_vt);
+  ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
+  cluster_.metrics().inc("imr_persistent_map_tasks");
+
+  // One-time static load (§3.2: loaded to local FS once).
+  KVVec static_sorted;
+  if (!ph.static_path.empty()) {
+    static_sorted = cluster_.dfs().read_partition(
+        ph.static_path, static_cast<uint32_t>(i), static_cast<uint32_t>(T_),
+        ctx.worker(), &ctx.vt());
+    ThreadCpuTimer sort_cpu;
+    sort_records(static_sorted, /*sort_values=*/false);
+    ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+  }
+
+  std::unique_ptr<IterMapper> mapper = ph.mapper();
+  mapper->configure(conf_.params);
+  std::unique_ptr<IterReducer> combiner = ph.combiner ? ph.combiner() : nullptr;
+  if (combiner) combiner->configure(conf_.params);
+
+  TaskEmitter emitter(T_, num_aux);
+
+  // Binary-search join against the sorted static data (§3.2.2).
+  auto static_value = [&](const Bytes& key) -> const Bytes* {
+    auto it = std::lower_bound(
+        static_sorted.begin(), static_sorted.end(), key,
+        [](const KV& kv, const Bytes& k) { return kv.key < k; });
+    if (it == static_sorted.end() || it->key != key) return nullptr;
+    return &it->value;
+  };
+  static const Bytes kEmpty;
+
+  auto process_one2one_batch = [&](const KVVec& batch) {
+    ThreadCpuTimer cpu;
+    for (const KV& kv : batch) {
+      const Bytes* sv = static_value(kv.key);
+      mapper->map(kv.key, kv.value, sv ? *sv : kEmpty, emitter);
+    }
+    ctx.charge_compute(cpu.elapsed_ns());
+  };
+  auto process_one2all = [&](KVVec& states) {
+    ThreadCpuTimer cpu;
+    // Deterministic order regardless of broadcast arrival interleaving.
+    sort_records(states, /*sort_values=*/false);
+    for (const KV& kv : static_sorted) {
+      mapper->map_all(kv.key, kv.value, states, emitter);
+    }
+    ctx.charge_compute(cpu.elapsed_ns());
+  };
+
+  auto flush_buffers = [&](int iter, bool final_flush) {
+    for (int r = 0; r < T_; ++r) {
+      KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
+      if (buf.empty()) continue;
+      // With a combiner, ship only at the end of the iteration: combining
+      // within small streamed batches finds few duplicate keys and forfeits
+      // most of the aggregation (matrix power would shuffle the full
+      // pre-combine product stream).
+      if (!final_flush &&
+          (combiner ||
+           buf.size() < static_cast<std::size_t>(conf_.buffer_records))) {
+        continue;
+      }
+      if (combiner) {
+        // Combine before shipping (sorted run-length grouping).
+        ThreadCpuTimer cpu;
+        sort_records(buf, conf_.deterministic_reduce);
+        KVVec combined;
+        CollectEmitter cemit(combined);
+        for_each_group(buf, [&](const Bytes& key,
+                                const std::vector<Bytes>& values) {
+          combiner->reduce(key, values, cemit);
+        });
+        buf = std::move(combined);
+        ctx.charge_compute(cpu.elapsed_ns());
+      }
+      send_batch(ctx, *red_ep(p, r), std::move(buf), i, iter, gen,
+                 TrafficCategory::kShuffle);
+      buf = KVVec{};
+    }
+  };
+
+  auto finish_iteration = [&](int iter) {
+    {
+      ThreadCpuTimer cpu;
+      mapper->flush(emitter);
+      ctx.charge_compute(cpu.elapsed_ns());
+    }
+    flush_buffers(iter, /*final_flush=*/true);
+    for (int r = 0; r < T_; ++r) {
+      send_eos(ctx, *red_ep(p, r), i, iter, gen, TrafficCategory::kShuffle);
+    }
+    if (num_aux > 0) {
+      for (int a = 0; a < num_aux; ++a) {
+        KVVec& buf = emitter.aux_buffers()[static_cast<std::size_t>(a)];
+        if (!buf.empty()) {
+          send_batch(ctx, *aux_map_ep_[static_cast<std::size_t>(a)],
+                     std::move(buf), i, iter, gen,
+                     TrafficCategory::kShuffle);
+          buf = KVVec{};
+        }
+        send_eos(ctx, *aux_map_ep_[static_cast<std::size_t>(a)], i, iter, gen,
+                 TrafficCategory::kShuffle);
+      }
+    }
+  };
+
+  int k = start_iter;
+  int go_allowed = start_iter;  // sync gating: first iteration is free
+  // Phase-0 maps begin from the loaded state (initial or checkpoint).
+  bool have_pending = is_phase0;
+  KVVec pending;
+  if (is_phase0) {
+    pending = load_map_state(ctx, i, start_iter - 1, one2all);
+  }
+
+  while (true) {
+    int rollback_to = -1;
+    if (have_pending) {
+      have_pending = false;
+      if (one2all) {
+        process_one2all(pending);
+      } else {
+        process_one2one_batch(pending);
+      }
+      pending = KVVec{};
+      finish_iteration(k);
+      ++k;
+      continue;
+    }
+
+    // Collect this iteration's state input.
+    int eos_seen = 0;
+    KVVec stash;       // buffered batches (sync mode / one2all)
+    bool done = false;
+    LoopEvent event = LoopEvent::kIterationReady;
+    while (!done) {
+      // Completion check up front: both the data EOS and (in sync mode) the
+      // master's go may arrive in either order.
+      if (eos_seen >= eos_target && (!sync_gate || go_allowed >= k)) {
+        break;
+      }
+      auto msg = inbox.next(ctx.vt(), gen, k);
+      if (!msg) {
+        event = LoopEvent::kClosed;
+        break;
+      }
+      if (msg->kind == NetMessage::Kind::kControl) {
+        CtlMsg ctl = CtlMsg::decode(msg->control);
+        switch (ctl.type) {
+          case CtlType::kTerminate:
+          case CtlType::kKill:
+            event = LoopEvent::kTerminate;
+            done = true;
+            break;
+          case CtlType::kRollback:
+            gen = ctl.generation;
+            rollback_to = ctl.iteration;
+            event = LoopEvent::kRollback;
+            done = true;
+            break;
+          case CtlType::kGo:
+            go_allowed = std::max(go_allowed, ctl.iteration);
+            break;
+          default:
+            break;
+        }
+        continue;
+      }
+      if (msg->kind == NetMessage::Kind::kEos) {
+        ++eos_seen;
+        continue;
+      }
+      // Data batch for iteration k.
+      if (one2all || (sync_gate && go_allowed < k)) {
+        stash.insert(stash.end(),
+                     std::make_move_iterator(msg->records.begin()),
+                     std::make_move_iterator(msg->records.end()));
+      } else {
+        // Asynchronous eager processing (§3.3): join+map immediately.
+        process_one2one_batch(msg->records);
+        flush_buffers(k, /*final_flush=*/false);
+      }
+    }
+
+    if (event == LoopEvent::kClosed || event == LoopEvent::kTerminate) return;
+    if (event == LoopEvent::kRollback) {
+      // Restart from the checkpoint (§3.4): stale queue contents are
+      // filtered by generation; reload the state and resume.
+      emitter.clear();
+      k = rollback_to + 1;
+      go_allowed = k;
+      if (is_phase0) {
+        pending = load_map_state(ctx, i, rollback_to, one2all);
+        have_pending = true;
+      }
+      continue;
+    }
+
+    if (!stash.empty()) {
+      if (one2all) {
+        process_one2all(stash);
+      } else {
+        process_one2one_batch(stash);
+      }
+    }
+    finish_iteration(k);
+    ++k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce task
+// ---------------------------------------------------------------------------
+
+void JobRun::run_reduce(int p, int i, int gen, int start_iter,
+                        int64_t start_vt) {
+  const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
+  const bool last_phase = (p == P_ - 1);
+  const bool is_phase0 = (p == 0);
+  const int next_p = (p + 1) % P_;
+  const Mapping next_mapping =
+      conf_.phases[static_cast<std::size_t>(next_p)].mapping;
+  const bool aux_from_reduce =
+      conf_.aux && last_phase &&
+      conf_.aux->source == AuxConf::Source::kReduceOutput;
+
+  std::shared_ptr<Endpoint> ep = red_ep(p, i);
+  StashedInbox inbox(ep);
+  TaskContext ctx(cluster_, red_ep_name(p, i), pair_worker(i), start_vt);
+  ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
+  cluster_.metrics().inc("imr_persistent_reduce_tasks");
+
+  std::unique_ptr<IterReducer> reducer = ph.reducer();
+  reducer->configure(conf_.params);
+
+  // Previous-iteration state for distance + checkpoints + final dump
+  // (§3.1.2: "the reduce tasks save the output from two consecutive
+  // iterations and calculate the distance").
+  std::unordered_map<Bytes, Bytes> state_map;
+  auto load_reduce_state = [&](int ckpt_iter) {
+    state_map.clear();
+    if (ckpt_iter > 0) {
+      for (KV& kv : ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/part-" +
+                                     std::to_string(i))) {
+        state_map[std::move(kv.key)] = std::move(kv.value);
+      }
+    }
+  };
+  if (last_phase && start_iter > 1) load_reduce_state(start_iter - 1);
+
+  auto dump_state = [&](const std::string& path, VClock* clock,
+                        TrafficCategory cat) {
+    KVVec sorted;
+    sorted.reserve(state_map.size());
+    for (const auto& [key, value] : state_map) sorted.emplace_back(key, value);
+    sort_records(sorted, /*sort_values=*/false);
+    cluster_.dfs().write_file(path + "/part-" + std::to_string(i),
+                              std::move(sorted), ctx.worker(), clock, cat);
+  };
+
+  int k = start_iter;
+  int allowed = start_iter;  // master Continue gate (phase-0 reduces)
+  int64_t prev_end_vt = ctx.vt().now_ns();
+
+  while (true) {
+    KVVec records;
+    int eos_seen = 0;
+    int rollback_to = -1;
+    LoopEvent event = LoopEvent::kIterationReady;
+    bool done = false;
+    while (!done) {
+      // The gate: iteration k may only be *processed* after the master
+      // accepted iteration k-1 (deterministic termination, §3.1.2). Data may
+      // be fully collected before the Continue arrives.
+      if (eos_seen >= T_ && (!is_phase0 || allowed >= k)) {
+        done = true;
+        break;
+      }
+      auto msg = inbox.next(ctx.vt(), gen, k);
+      if (!msg) {
+        event = LoopEvent::kClosed;
+        break;
+      }
+      if (msg->kind == NetMessage::Kind::kControl) {
+        CtlMsg ctl = CtlMsg::decode(msg->control);
+        switch (ctl.type) {
+          case CtlType::kContinue:
+            allowed = std::max(allowed, ctl.iteration + 1);
+            break;
+          case CtlType::kTerminate:
+            event = LoopEvent::kTerminate;
+            done = true;
+            break;
+          case CtlType::kKill:
+            event = LoopEvent::kKill;
+            done = true;
+            break;
+          case CtlType::kRollback:
+            gen = ctl.generation;
+            rollback_to = ctl.iteration;
+            event = LoopEvent::kRollback;
+            done = true;
+            break;
+          default:
+            break;
+        }
+        continue;
+      }
+      if (msg->kind == NetMessage::Kind::kEos) {
+        ++eos_seen;
+      } else {
+        records.insert(records.end(),
+                       std::make_move_iterator(msg->records.begin()),
+                       std::make_move_iterator(msg->records.end()));
+      }
+    }
+
+    if (event == LoopEvent::kClosed || event == LoopEvent::kKill) return;
+    if (event == LoopEvent::kTerminate) {
+      if (last_phase) {
+        // Dump the final state to DFS — the single output write of the whole
+        // iterative run (§3.1, Fig. 1b).
+        dump_state(conf_.output_path, &ctx.vt(), TrafficCategory::kDfsWrite);
+        CtlMsg done_msg;
+        done_msg.type = CtlType::kDone;
+        done_msg.task = i;
+        done_msg.iteration = k - 1;
+        done_msg.generation = gen;
+        task_send_ctl(ctx, done_msg);
+      }
+      return;
+    }
+    if (event == LoopEvent::kRollback) {
+      k = rollback_to + 1;
+      allowed = k;
+      if (last_phase) load_reduce_state(rollback_to);
+      prev_end_vt = ctx.vt().now_ns();
+      continue;
+    }
+
+    // --- process iteration k ---
+    // Report the task's own processing span (§3.4.2's "processing time for
+    // that iteration"): from all-inputs-ready to completion. Wall duration
+    // would be useless for balancing — every reduce waits on the globally
+    // slowest map, so wall times are nearly identical across workers.
+    prev_end_vt = ctx.vt().now_ns();
+    ThreadCpuTimer sort_cpu;
+    sort_records(records, conf_.deterministic_reduce);
+    ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+
+    // Run the reduce function over the key groups, STREAMING the output to
+    // the next phase's maps in buffer-sized batches as it is produced
+    // (§3.3: "as the buffer size grows larger than a threshold, the data are
+    // sent to the corresponding map task"). In asynchronous mode the paired
+    // map joins and processes these early batches while this reduce is still
+    // working on later keys — the genuine pipelining the async curves
+    // measure. Distance and state bookkeeping happen inline.
+    const int out_iter = next_p == 0 ? k + 1 : k;
+    const TrafficCategory cat = next_mapping == Mapping::kOne2All
+                                    ? TrafficCategory::kBroadcast
+                                    : TrafficCategory::kReduceToMap;
+    auto ship_batch = [&](KVVec batch) {
+      if (next_mapping == Mapping::kOne2All) {
+        for (int m = 0; m < T_; ++m) {
+          send_batch(ctx, *map_ep(next_p, m), batch, i, out_iter, gen, cat);
+        }
+      } else {
+        send_batch(ctx, *map_ep(next_p, i), std::move(batch), i, out_iter,
+                   gen, cat);
+      }
+    };
+
+    KVVec output;  // full iteration output, kept for the aux copy
+    KVVec pending_batch;
+    double local_distance = 0;
+    ThreadCpuTimer cpu;
+    for_each_group(records,
+                   [&](const Bytes& key, const std::vector<Bytes>& values) {
+                     KVVec produced;
+                     CollectEmitter group_emitter(produced);
+                     reducer->reduce(key, values, group_emitter);
+                     for (KV& kv : produced) {
+                       if (last_phase) {
+                         auto it = state_map.find(kv.key);
+                         const Bytes& prev =
+                             it == state_map.end() ? Bytes{} : it->second;
+                         local_distance +=
+                             reducer->distance(kv.key, prev, kv.value);
+                         state_map[kv.key] = kv.value;
+                       }
+                       if (aux_from_reduce) output.push_back(kv);
+                       pending_batch.push_back(std::move(kv));
+                     }
+                     if (pending_batch.size() >=
+                         static_cast<std::size_t>(conf_.buffer_records)) {
+                       // Charge the compute consumed so far, then ship — the
+                       // batch's availability time reflects the work done to
+                       // produce it.
+                       ctx.charge_compute(cpu.elapsed_ns());
+                       cpu.reset();
+                       ship_batch(std::move(pending_batch));
+                       pending_batch = KVVec{};
+                     }
+                   });
+    ctx.charge_compute(cpu.elapsed_ns());
+    if (!pending_batch.empty()) ship_batch(std::move(pending_batch));
+    if (next_mapping == Mapping::kOne2All) {
+      for (int m = 0; m < T_; ++m) {
+        send_eos(ctx, *map_ep(next_p, m), i, out_iter, gen, cat);
+      }
+    } else {
+      send_eos(ctx, *map_ep(next_p, i), i, out_iter, gen, cat);
+    }
+
+    // Checkpoint (§3.4.1) — written in parallel with the iteration, so it is
+    // charged on a detached clock and does not delay the pipeline.
+    if (last_phase && conf_.checkpoint_every > 0 &&
+        k % conf_.checkpoint_every == 0) {
+      VClock parallel_clock(ctx.vt().now_ns());
+      dump_state(ckpt_path(k), &parallel_clock, TrafficCategory::kCheckpoint);
+      cluster_.metrics().inc("imr_checkpoints");
+    }
+
+    // Copy to a reduce-sourced auxiliary phase (§5.3).
+    if (aux_from_reduce) {
+      TaskEmitter aux_emit(1, static_cast<int>(aux_map_ep_.size()));
+      for (const KV& kv : output) aux_emit.side(kv.key, kv.value);
+      for (std::size_t a = 0; a < aux_map_ep_.size(); ++a) {
+        KVVec& buf = aux_emit.aux_buffers()[a];
+        if (!buf.empty()) {
+          send_batch(ctx, *aux_map_ep_[a], std::move(buf), i, k, gen,
+                     TrafficCategory::kShuffle);
+        }
+        send_eos(ctx, *aux_map_ep_[a], i, k, gen, TrafficCategory::kShuffle);
+      }
+    }
+
+    // Failure detection point (§3.4.1): the injector trips at iteration
+    // boundaries; the task notifies the master and dies.
+    if (cluster_.worker_failed(ctx.worker(), k)) {
+      CtlMsg fail;
+      fail.type = CtlType::kFailure;
+      fail.task = i;
+      fail.iteration = k;
+      fail.generation = gen;
+      fail.worker = ctx.worker();
+      task_send_ctl(ctx, fail);
+      return;
+    }
+
+    // Iteration completion report (§3.4.2).
+    if (last_phase) {
+      CtlMsg report;
+      report.type = CtlType::kReport;
+      report.task = i;
+      report.iteration = k;
+      report.generation = gen;
+      report.worker = ctx.worker();
+      report.distance = local_distance;
+      report.duration_ns = ctx.vt().now_ns() - prev_end_vt;
+      task_send_ctl(ctx, report);
+    }
+    prev_end_vt = ctx.vt().now_ns();
+    ++k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary phase tasks (§5.3)
+// ---------------------------------------------------------------------------
+
+void JobRun::run_aux_map(int j) {
+  std::shared_ptr<Endpoint> ep = aux_map_ep_[static_cast<std::size_t>(j)];
+  StashedInbox inbox(ep);
+  TaskContext ctx(cluster_, tag_ + "/aux/m" + std::to_string(j),
+                  pair_worker(j % T_), 0);
+  ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
+
+  std::unique_ptr<IterMapper> mapper = conf_.aux->mapper();
+  mapper->configure(conf_.params);
+  TaskEmitter emitter(aux_reduces_, 0);
+  static const Bytes kEmpty;
+
+  int k = 1;
+  while (true) {
+    int eos_seen = 0;
+    bool terminated = false;
+    while (eos_seen < T_) {
+      auto msg = inbox.next(ctx.vt(), 0, k);
+      if (!msg) return;
+      if (msg->kind == NetMessage::Kind::kControl) {
+        CtlMsg ctl = CtlMsg::decode(msg->control);
+        if (ctl.type == CtlType::kTerminate || ctl.type == CtlType::kKill) {
+          terminated = true;
+          break;
+        }
+        continue;
+      }
+      if (msg->kind == NetMessage::Kind::kEos) {
+        ++eos_seen;
+        continue;
+      }
+      ThreadCpuTimer cpu;
+      for (const KV& kv : msg->records) {
+        mapper->map(kv.key, kv.value, kEmpty, emitter);
+      }
+      ctx.charge_compute(cpu.elapsed_ns());
+    }
+    if (terminated) return;
+    {
+      ThreadCpuTimer cpu;
+      mapper->flush(emitter);
+      ctx.charge_compute(cpu.elapsed_ns());
+    }
+    for (int r = 0; r < aux_reduces_; ++r) {
+      KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
+      if (!buf.empty()) {
+        send_batch(ctx, *aux_red_ep_[static_cast<std::size_t>(r)],
+                   std::move(buf), j, k, 0, TrafficCategory::kShuffle);
+        buf = KVVec{};
+      }
+      send_eos(ctx, *aux_red_ep_[static_cast<std::size_t>(r)], j, k, 0,
+               TrafficCategory::kShuffle);
+    }
+    ++k;
+  }
+}
+
+void JobRun::run_aux_reduce(int j) {
+  std::shared_ptr<Endpoint> ep = aux_red_ep_[static_cast<std::size_t>(j)];
+  StashedInbox inbox(ep);
+  TaskContext ctx(cluster_, tag_ + "/aux/r" + std::to_string(j),
+                  j % cluster_.num_workers(), 0);
+  ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
+
+  std::unique_ptr<IterReducer> reducer = conf_.aux->reducer();
+  reducer->configure(conf_.params);
+
+  int k = 1;
+  while (true) {
+    KVVec records;
+    int eos_seen = 0;
+    bool terminated = false;
+    while (eos_seen < T_) {  // one aux map per pair
+      auto msg = inbox.next(ctx.vt(), 0, k);
+      if (!msg) return;
+      if (msg->kind == NetMessage::Kind::kControl) {
+        CtlMsg ctl = CtlMsg::decode(msg->control);
+        if (ctl.type == CtlType::kTerminate || ctl.type == CtlType::kKill) {
+          terminated = true;
+          break;
+        }
+        continue;
+      }
+      if (msg->kind == NetMessage::Kind::kEos) {
+        ++eos_seen;
+      } else {
+        records.insert(records.end(),
+                       std::make_move_iterator(msg->records.begin()),
+                       std::make_move_iterator(msg->records.end()));
+      }
+    }
+    if (terminated) return;
+
+    ThreadCpuTimer cpu;
+    sort_records(records, conf_.deterministic_reduce);
+    KVVec output;
+    CollectEmitter out(output);
+    for_each_group(records,
+                   [&](const Bytes& key, const std::vector<Bytes>& values) {
+                     reducer->reduce(key, values, out);
+                   });
+    ctx.charge_compute(cpu.elapsed_ns());
+
+    for (const KV& kv : output) {
+      if (kv.key == kTerminateSignalKey) {
+        CtlMsg sig;
+        sig.type = CtlType::kAuxSignal;
+        sig.task = j;
+        sig.iteration = k;
+        task_send_ctl(ctx, sig);
+        cluster_.metrics().inc("imr_aux_signals");
+      }
+    }
+    ++k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------------
+
+void JobRun::master_loop(VClock& mvt) {
+  struct PendingIter {
+    int reports = 0;
+    double distance = 0;
+    std::map<int, int64_t> worker_dur;  // worker -> max duration
+  };
+  std::map<int, PendingIter> pending;  // iteration -> reports (current gen)
+  int generation = 0;
+  int decided = 0;
+  int last_ckpt = 0;
+  int aux_stop_at = INT32_MAX;
+  int last_migration_iter = 0;
+  std::set<int> dead_workers;
+  bool terminating = false;
+  int done_count = 0;
+
+  auto broadcast_terminate = [&](int iter) {
+    terminating = true;
+    CtlMsg t;
+    t.type = CtlType::kTerminate;
+    t.iteration = iter;
+    t.generation = generation;
+    for (auto& ep : all_endpoints()) master_send(mvt, *ep, t);
+    cluster_.metrics().inc("imr_terminate_broadcasts");
+  };
+
+  // Respawn `pairs` on `targets` and roll everything back to `ckpt_iter`.
+  auto respawn_and_rollback = [&](const std::vector<int>& pairs,
+                                  const std::vector<int>& targets,
+                                  int ckpt_iter) {
+    ++generation;
+    // Kill the old tasks of the moved pairs (their endpoints are about to be
+    // replaced; the kill lands in the old objects).
+    CtlMsg kill;
+    kill.type = CtlType::kKill;
+    kill.generation = generation;
+    for (int idx : pairs) {
+      for (int p = 0; p < P_; ++p) {
+        master_send(mvt, *map_ep(p, idx), kill);
+        master_send(mvt, *red_ep(p, idx), kill);
+      }
+    }
+    // Fresh endpoints homed on the new workers, then fresh pair threads.
+    {
+      std::lock_guard<std::mutex> lock(ep_mu_);
+      for (std::size_t n = 0; n < pairs.size(); ++n) {
+        int idx = pairs[n];
+        int target = targets[n];
+        for (int p = 0; p < P_; ++p) {
+          map_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] =
+              cluster_.fabric().create_endpoint(map_ep_name(p, idx), target);
+          red_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] =
+              cluster_.fabric().create_endpoint(red_ep_name(p, idx), target);
+        }
+      }
+    }
+    for (std::size_t n = 0; n < pairs.size(); ++n) {
+      set_pair_worker(pairs[n], targets[n]);
+      spawn_pair(pairs[n], generation, ckpt_iter + 1, mvt.now_ns());
+    }
+    // Roll every other pair back to the checkpoint (§3.4.2 step 3).
+    CtlMsg rb;
+    rb.type = CtlType::kRollback;
+    rb.iteration = ckpt_iter;
+    rb.generation = generation;
+    for (int idx = 0; idx < T_; ++idx) {
+      if (std::find(pairs.begin(), pairs.end(), idx) != pairs.end()) continue;
+      for (int p = 0; p < P_; ++p) {
+        master_send(mvt, *map_ep(p, idx), rb);
+        master_send(mvt, *red_ep(p, idx), rb);
+      }
+    }
+    pending.clear();
+    decided = ckpt_iter;
+  };
+
+  while (done_count < T_) {
+    auto msg = master_ep_->receive(mvt);
+    if (!msg) break;
+    if (msg->kind != NetMessage::Kind::kControl) continue;
+    CtlMsg ctl = CtlMsg::decode(msg->control);
+
+    switch (ctl.type) {
+      case CtlType::kDone: {
+        ++done_count;
+        final_vt_ = std::max(final_vt_, mvt.now_ns());
+        break;
+      }
+      case CtlType::kAuxSignal: {
+        // Terminate at the NEXT decision boundary, not immediately: the
+        // Continue for iteration `decided` is already out, so reduce tasks
+        // may legitimately be applying iteration decided+1 — stopping
+        // mid-flight would leave a mixed final state. Deferring keeps every
+        // part file at the same iteration.
+        if (!terminating) {
+          aux_stop_at = std::min(aux_stop_at, std::max(decided + 1,
+                                                       ctl.iteration));
+        }
+        break;
+      }
+      case CtlType::kFailure: {
+        if (terminating || dead_workers.count(ctl.worker)) break;
+        dead_workers.insert(ctl.worker);
+        cluster_.mark_dead(ctl.worker);
+        cluster_.metrics().inc("imr_recoveries");
+        IMR_WARN << tag_ << ": worker " << ctl.worker
+                 << " failed at iteration " << ctl.iteration
+                 << "; rolling back to checkpoint " << last_ckpt;
+        // All pairs on the dead worker move to the least-loaded live worker.
+        std::vector<int> pairs;
+        std::vector<int> targets;
+        std::map<int, int> load;
+        for (int idx = 0; idx < T_; ++idx) {
+          int w = pair_worker(idx);
+          if (w == ctl.worker) {
+            pairs.push_back(idx);
+          } else {
+            ++load[w];
+          }
+        }
+        for (int w = 0; w < cluster_.num_workers(); ++w) {
+          if (cluster_.worker_alive(w) && !load.count(w)) load[w] = 0;
+        }
+        for (std::size_t n = 0; n < pairs.size(); ++n) {
+          auto best = std::min_element(
+              load.begin(), load.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+          IMR_CHECK_MSG(best != load.end(), "no live worker for recovery");
+          targets.push_back(best->first);
+          ++best->second;
+        }
+        respawn_and_rollback(pairs, targets, last_ckpt);
+        break;
+      }
+      case CtlType::kReport: {
+        if (terminating || ctl.generation != generation) break;
+        PendingIter& pi = pending[ctl.iteration];
+        ++pi.reports;
+        pi.distance += ctl.distance;
+        int64_t& dur = pi.worker_dur[ctl.worker];
+        dur = std::max(dur, ctl.duration_ns);
+        if (ctl.iteration != decided + 1 || pi.reports < T_) break;
+
+        // --- decision for iteration `decided + 1` ---
+        decided = ctl.iteration;
+        PendingIter done_iter = pi;
+        pending.erase(ctl.iteration);
+        if (conf_.checkpoint_every > 0 &&
+            decided % conf_.checkpoint_every == 0) {
+          last_ckpt = decided;
+        }
+        {
+          IterationStat st;
+          st.iteration = decided;
+          st.wall_ms_end = mvt.now_ms();
+          st.distance = done_iter.distance;
+          report_.iterations.push_back(st);
+        }
+        cluster_.metrics().inc("imr_iterations");
+        IMR_INFO << tag_ << " iteration " << decided << " done at "
+                 << mvt.now_ms() << " ms, distance " << done_iter.distance;
+
+        bool stop = decided >= conf_.max_iterations ||
+                    (conf_.distance_threshold >= 0 &&
+                     done_iter.distance < conf_.distance_threshold) ||
+                    decided >= aux_stop_at;
+        if (stop) {
+          report_.converged =
+              decided < conf_.max_iterations ||
+              (conf_.distance_threshold >= 0 &&
+               done_iter.distance < conf_.distance_threshold);
+          broadcast_terminate(decided);
+          break;
+        }
+
+        // Allow the next iteration.
+        CtlMsg cont;
+        cont.type = CtlType::kContinue;
+        cont.iteration = decided;
+        cont.generation = generation;
+        for (int idx = 0; idx < T_; ++idx) {
+          master_send(mvt, *red_ep(0, idx), cont);
+        }
+        if (!conf_.async_maps &&
+            conf_.phases[0].mapping == Mapping::kOne2One) {
+          CtlMsg go;
+          go.type = CtlType::kGo;
+          go.iteration = decided + 1;
+          go.generation = generation;
+          for (int idx = 0; idx < T_; ++idx) {
+            master_send(mvt, *map_ep(0, idx), go);
+          }
+        }
+
+        // --- load balancing (§3.4.2) ---
+        if (conf_.load_balancing && last_ckpt > 0 &&
+            decided - last_migration_iter >= 2 &&
+            done_iter.worker_dur.size() >= 3) {
+          std::vector<std::pair<int, int64_t>> durs(
+              done_iter.worker_dur.begin(), done_iter.worker_dur.end());
+          std::sort(durs.begin(), durs.end(), [](const auto& a, const auto& b) {
+            return a.second < b.second;
+          });
+          // Average excluding the longest and shortest, per the paper.
+          double sum = 0;
+          for (std::size_t n = 1; n + 1 < durs.size(); ++n) {
+            sum += static_cast<double>(durs[n].second);
+          }
+          double avg = sum / static_cast<double>(durs.size() - 2);
+          int slowest = durs.back().first;
+          int fastest = durs.front().first;
+          double dev =
+              (static_cast<double>(durs.back().second) - avg) / avg;
+          if (avg > 0 && dev > conf_.migration_threshold &&
+              cluster_.worker_alive(fastest) && slowest != fastest) {
+            // Migrate the slowest pair on the slowest worker.
+            int victim = -1;
+            for (int idx = 0; idx < T_; ++idx) {
+              if (pair_worker(idx) == slowest) {
+                victim = idx;
+                break;
+              }
+            }
+            if (victim >= 0) {
+              IMR_INFO << tag_ << ": migrating pair " << victim
+                       << " from worker " << slowest << " to " << fastest
+                       << " (deviation " << dev << ")";
+              cluster_.metrics().inc("imr_migrations");
+              last_migration_iter = decided;
+              respawn_and_rollback({victim}, {fastest}, last_ckpt);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// execute
+// ---------------------------------------------------------------------------
+
+RunReport JobRun::execute() {
+  conf_.validate();
+  for (const auto& ph : conf_.phases) {
+    if (ph.mapping == Mapping::kOne2All && ph.static_path.empty()) {
+      throw ConfigError("one2all phase requires static data to map over");
+    }
+  }
+  aux_reduces_ = conf_.aux ? conf_.aux->num_reduce_tasks : 0;
+  const int aux_maps = conf_.aux ? T_ : 0;
+
+  // Each phase's persistent tasks must fit the execution slots; phases of
+  // the same iteration alternate activity and share them (§3.1.1), while an
+  // aux phase runs concurrently with the main phase and needs its own.
+  if (T_ + aux_maps > cluster_.map_slots()) {
+    throw ConfigError(strprintf(
+        "%d persistent map tasks exceed %d map slots", T_ + aux_maps,
+        cluster_.map_slots()));
+  }
+  if (T_ + aux_reduces_ > cluster_.reduce_slots()) {
+    throw ConfigError("persistent reduce tasks exceed reduce slots");
+  }
+
+  // Placement: pair i (all phases) on worker i mod W — co-locating each map
+  // with its paired reduce so the reduce->map hand-off is local (§3.2.1).
+  pair_worker_.resize(static_cast<std::size_t>(T_));
+  for (int i = 0; i < T_; ++i) {
+    pair_worker_[static_cast<std::size_t>(i)] = i % cluster_.num_workers();
+  }
+
+  master_ep_ = cluster_.fabric().create_endpoint(tag_ + "/master", -1);
+  map_ep_.resize(static_cast<std::size_t>(P_));
+  red_ep_.resize(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) {
+    for (int i = 0; i < T_; ++i) {
+      map_ep_[static_cast<std::size_t>(p)].push_back(
+          cluster_.fabric().create_endpoint(map_ep_name(p, i),
+                                            pair_worker_[static_cast<std::size_t>(i)]));
+      red_ep_[static_cast<std::size_t>(p)].push_back(
+          cluster_.fabric().create_endpoint(red_ep_name(p, i),
+                                            pair_worker_[static_cast<std::size_t>(i)]));
+    }
+  }
+  for (int a = 0; a < aux_maps; ++a) {
+    // Aux map a lives with pair a, so map-side output hand-off is local.
+    aux_map_ep_.push_back(cluster_.fabric().create_endpoint(
+        tag_ + "/aux/m" + std::to_string(a),
+        pair_worker_[static_cast<std::size_t>(a)]));
+  }
+  for (int j = 0; j < aux_reduces_; ++j) {
+    aux_red_ep_.push_back(cluster_.fabric().create_endpoint(
+        tag_ + "/aux/r" + std::to_string(j), j % cluster_.num_workers()));
+  }
+
+  // One-time job initialization (§3.1).
+  VClock mvt;
+  mvt.advance(cost_.job_init);
+  cluster_.metrics().add_time(TimeCategory::kJobInit, cost_.job_init);
+  cluster_.metrics().inc("jobs_submitted");
+  const int64_t base_vt = mvt.now_ns();
+
+  for (int i = 0; i < T_; ++i) spawn_pair(i, /*gen=*/0, /*start_iter=*/1, base_vt);
+  for (int a = 0; a < aux_maps; ++a) {
+    spawn([this, a] { run_aux_map(a); });
+  }
+  for (int j = 0; j < aux_reduces_; ++j) {
+    spawn([this, j] { run_aux_reduce(j); });
+  }
+
+  master_loop(mvt);
+
+  // Make absolutely sure every task unblocks, then join.
+  for (auto& ep : all_endpoints()) ep->close();
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (auto& t : threads_) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+  for (auto& ep : all_endpoints()) {
+    cluster_.fabric().remove_endpoint(ep->name());
+  }
+  cluster_.fabric().remove_endpoint(master_ep_->name());
+
+  report_.label = conf_.name + "/imapreduce";
+  report_.total_wall_ms = static_cast<double>(std::max(final_vt_, mvt.now_ns())) / 1e6;
+  report_.init_wall_ms =
+      sim_to_ms(cost_.job_init) + sim_to_ms(cost_.task_init);
+  report_.iterations_run =
+      report_.iterations.empty() ? 0 : report_.iterations.back().iteration;
+  report_.capture(cluster_.metrics());
+  return report_;
+}
+
+}  // namespace
+
+RunReport IterativeEngine::run(const IterJobConf& conf) {
+  JobRun run(cluster_, conf);
+  return run.execute();
+}
+
+}  // namespace imr

@@ -1,0 +1,45 @@
+// IterativeEngine — the iMapReduce runtime (§3).
+//
+// One run executes an IterJobConf on the cluster with persistent map/reduce
+// task pairs:
+//
+//   - ONE-TIME INITIALIZATION (§3.1.1): the job pays job_init once; every
+//     persistent task pays task_init once and loads its static partition and
+//     (phase-0 maps) initial state partition from DFS once. The engine
+//     verifies all tasks fit into the cluster's slots up front.
+//   - STATE/STATIC SEPARATION (§3.2): map tasks keep the static data sorted
+//     in memory and join arriving state records against it; only state data
+//     is shuffled, and the reduce->map hand-off uses a persistent channel
+//     that is local because the scheduler co-locates each pair.
+//   - ASYNC MAP EXECUTION (§3.3): a phase-0 map starts iteration k+1 the
+//     moment its own reducer's buffered output arrives; with
+//     async_maps=false it waits for the master's go — the "(sync.)" curves.
+//   - TERMINATION (§3.1.2): reduce tasks report local distances; the master
+//     merges them and stops at max_iterations or below distance_threshold,
+//     or when an auxiliary phase (§5.3) signals.
+//   - FAULT TOLERANCE (§3.4.1): reduce tasks checkpoint state every N
+//     iterations; on worker failure the master respawns the lost pairs on
+//     live workers and rolls everyone back to the last checkpoint.
+//   - LOAD BALANCING (§3.4.2): per-iteration completion reports drive
+//     migration of a pair from the slowest to the fastest worker.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "imapreduce/conf.h"
+#include "metrics/metrics.h"
+
+namespace imr {
+
+class IterativeEngine {
+ public:
+  explicit IterativeEngine(Cluster& cluster) : cluster_(cluster) {}
+
+  // Runs the iterative job to termination and returns the per-iteration
+  // virtual-time report. Final state is written to conf.output_path/part-<i>.
+  RunReport run(const IterJobConf& conf);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace imr

@@ -1,0 +1,170 @@
+// Typed adapters over the byte-level API.
+//
+// The engines move byte records (codec.h); user algorithms usually want
+// typed keys and values. TypeCodec<T> supplies the (order-preserving for
+// keys) encoding for the supported types, and the typed_* factories wrap
+// typed lambdas into IterMapper/IterReducer implementations:
+//
+//   auto mapper = typed_iter_mapper<uint32_t, double, std::vector<WEdge>>(
+//       [](uint32_t u, double dist, const std::vector<WEdge>& edges,
+//          TypedEmitter<uint32_t, double>& out) {
+//         for (const WEdge& e : edges) out.emit(e.dst, dist + e.weight);
+//         out.emit(u, dist);
+//       });
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "imapreduce/api.h"
+
+namespace imr {
+
+// ---------------------------------------------------------------------------
+// TypeCodec: encode/decode for the supported key/value types.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct TypeCodec;  // unspecialized: unsupported type
+
+template <>
+struct TypeCodec<uint32_t> {
+  static Bytes encode(uint32_t v) { return u32_key(v); }
+  static uint32_t decode(BytesView b) { return as_u32(b); }
+};
+
+template <>
+struct TypeCodec<uint64_t> {
+  static Bytes encode(uint64_t v) { return u64_key(v); }
+  static uint64_t decode(BytesView b) { return as_u64(b); }
+};
+
+template <>
+struct TypeCodec<double> {
+  static Bytes encode(double v) { return f64_value(v); }
+  static double decode(BytesView b) { return as_f64(b); }
+};
+
+template <>
+struct TypeCodec<std::string> {
+  static Bytes encode(const std::string& v) { return v; }
+  static std::string decode(BytesView b) { return std::string(b); }
+};
+
+template <>
+struct TypeCodec<std::vector<double>> {
+  static Bytes encode(const std::vector<double>& v) {
+    Bytes b;
+    encode_f64_vec(v, b);
+    return b;
+  }
+  static std::vector<double> decode(BytesView b) {
+    std::size_t pos = 0;
+    std::vector<double> v = decode_f64_vec(b, pos);
+    if (pos != b.size()) throw FormatError("trailing bytes after f64 vector");
+    return v;
+  }
+};
+
+template <>
+struct TypeCodec<std::vector<WEdge>> {
+  static Bytes encode(const std::vector<WEdge>& v) {
+    Bytes b;
+    encode_wedges(v, b);
+    return b;
+  }
+  static std::vector<WEdge> decode(BytesView b) { return decode_wedges(b); }
+};
+
+template <>
+struct TypeCodec<std::vector<uint32_t>> {
+  static Bytes encode(const std::vector<uint32_t>& v) {
+    Bytes b;
+    encode_adj(v, b);
+    return b;
+  }
+  static std::vector<uint32_t> decode(BytesView b) { return decode_adj(b); }
+};
+
+// ---------------------------------------------------------------------------
+// Typed emitter view.
+// ---------------------------------------------------------------------------
+
+template <typename OutK, typename OutV>
+class TypedEmitter {
+ public:
+  explicit TypedEmitter(IterEmitter& raw) : raw_(raw) {}
+
+  void emit(const OutK& key, const OutV& value) {
+    raw_.emit(TypeCodec<OutK>::encode(key), TypeCodec<OutV>::encode(value));
+  }
+  template <typename SK, typename SV>
+  void side(const SK& key, const SV& value) {
+    raw_.side(TypeCodec<SK>::encode(key), TypeCodec<SV>::encode(value));
+  }
+
+ private:
+  IterEmitter& raw_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed factories.
+// ---------------------------------------------------------------------------
+
+// One2one mapper over (key, state, static). The static value is passed by
+// pointer: nullptr when the key has no static record.
+template <typename K, typename StateV, typename StaticV, typename OutK,
+          typename OutV>
+IterMapperFactory typed_iter_mapper(
+    std::function<void(const K&, const StateV&, const StaticV*,
+                       TypedEmitter<OutK, OutV>&)>
+        fn) {
+  return make_iter_mapper([fn = std::move(fn)](const Bytes& key,
+                                               const Bytes& state,
+                                               const Bytes& stat,
+                                               IterEmitter& out) {
+    TypedEmitter<OutK, OutV> typed(out);
+    if (stat.empty()) {
+      fn(TypeCodec<K>::decode(key), TypeCodec<StateV>::decode(state), nullptr,
+         typed);
+    } else {
+      StaticV sv = TypeCodec<StaticV>::decode(stat);
+      fn(TypeCodec<K>::decode(key), TypeCodec<StateV>::decode(state), &sv,
+         typed);
+    }
+  });
+}
+
+// Typed reducer with a typed distance function.
+template <typename K, typename V, typename OutK, typename OutV>
+IterReducerFactory typed_iter_reducer(
+    std::function<void(const K&, const std::vector<V>&,
+                       TypedEmitter<OutK, OutV>&)>
+        reduce_fn,
+    std::function<double(const K&, const V*, const V&)> distance_fn = nullptr) {
+  auto raw_reduce = [reduce_fn = std::move(reduce_fn)](
+                        const Bytes& key, const std::vector<Bytes>& values,
+                        IterEmitter& out) {
+    std::vector<V> typed_values;
+    typed_values.reserve(values.size());
+    for (const Bytes& v : values) typed_values.push_back(TypeCodec<V>::decode(v));
+    TypedEmitter<OutK, OutV> typed(out);
+    reduce_fn(TypeCodec<K>::decode(key), typed_values, typed);
+  };
+  if (!distance_fn) return make_iter_reducer(std::move(raw_reduce));
+  auto raw_distance = [distance_fn = std::move(distance_fn)](
+                          const Bytes& key, const Bytes& prev,
+                          const Bytes& cur) {
+    if (prev.empty()) {
+      return distance_fn(TypeCodec<K>::decode(key), nullptr,
+                         TypeCodec<V>::decode(cur));
+    }
+    V pv = TypeCodec<V>::decode(prev);
+    return distance_fn(TypeCodec<K>::decode(key), &pv,
+                       TypeCodec<V>::decode(cur));
+  };
+  return make_iter_reducer(std::move(raw_reduce), std::move(raw_distance));
+}
+
+}  // namespace imr

@@ -1,0 +1,46 @@
+#include "mapreduce/api.h"
+
+namespace imr {
+
+namespace {
+
+class LambdaMapper : public Mapper {
+ public:
+  explicit LambdaMapper(
+      std::function<void(const Bytes&, const Bytes&, Emitter&)> fn)
+      : fn_(std::move(fn)) {}
+  void map(const Bytes& key, const Bytes& value, Emitter& out) override {
+    fn_(key, value, out);
+  }
+
+ private:
+  std::function<void(const Bytes&, const Bytes&, Emitter&)> fn_;
+};
+
+class LambdaReducer : public Reducer {
+ public:
+  explicit LambdaReducer(
+      std::function<void(const Bytes&, const std::vector<Bytes>&, Emitter&)> fn)
+      : fn_(std::move(fn)) {}
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              Emitter& out) override {
+    fn_(key, values, out);
+  }
+
+ private:
+  std::function<void(const Bytes&, const std::vector<Bytes>&, Emitter&)> fn_;
+};
+
+}  // namespace
+
+MapperFactory make_mapper(
+    std::function<void(const Bytes&, const Bytes&, Emitter&)> fn) {
+  return [fn = std::move(fn)] { return std::make_unique<LambdaMapper>(fn); };
+}
+
+ReducerFactory make_reducer(
+    std::function<void(const Bytes&, const std::vector<Bytes>&, Emitter&)> fn) {
+  return [fn = std::move(fn)] { return std::make_unique<LambdaReducer>(fn); };
+}
+
+}  // namespace imr

@@ -1,0 +1,34 @@
+// The classic (Hadoop-equivalent) MapReduce engine.
+//
+// Executes one batch job: schedule map tasks with block locality, shuffle
+// all map output over the fabric, sort/group at the reduce side, write
+// per-reduce part files back to DFS. Every job pays job initialization, every
+// task pays task initialization — the per-iteration overhead that iMapReduce
+// eliminates (§2.2 limitation 1).
+#pragma once
+
+#include <atomic>
+
+#include "cluster/cluster.h"
+#include "mapreduce/api.h"
+
+namespace imr {
+
+class MapReduceEngine {
+ public:
+  explicit MapReduceEngine(Cluster& cluster) : cluster_(cluster) {}
+
+  // Runs the job to completion. `submit_vt_ns` is the virtual time of
+  // submission (a driver chains jobs by passing the previous end time).
+  JobResult run_job(const JobConf& conf, int64_t submit_vt_ns = 0);
+
+ private:
+  Cluster& cluster_;
+};
+
+// Resolves a path-or-directory-prefix into concrete file paths
+// (sorted; throws DfsError when nothing matches).
+std::vector<std::string> resolve_input_paths(MiniDfs& dfs,
+                                             const std::string& path);
+
+}  // namespace imr

@@ -1,0 +1,47 @@
+#include "mapreduce/shuffle_util.h"
+
+#include <algorithm>
+
+namespace imr {
+
+void sort_records(KVVec& records, bool sort_values) {
+  if (sort_values) {
+    std::sort(records.begin(), records.end());
+  } else {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const KV& a, const KV& b) { return a.key < b.key; });
+  }
+}
+
+void for_each_group(
+    const KVVec& sorted,
+    const std::function<void(const Bytes& key,
+                             const std::vector<Bytes>& values)>& fn) {
+  std::size_t i = 0;
+  std::vector<Bytes> values;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < sorted.size() && sorted[j].key == sorted[i].key) {
+      values.push_back(sorted[j].value);
+      ++j;
+    }
+    fn(sorted[i].key, values);
+    i = j;
+  }
+}
+
+std::size_t run_combiner(KVVec& sorted, Reducer& combiner) {
+  KVVec combined;
+  combined.reserve(sorted.size() / 2 + 1);
+  VectorEmitter emitter(combined);
+  for_each_group(sorted,
+                 [&](const Bytes& key, const std::vector<Bytes>& values) {
+                   combiner.reduce(key, values, emitter);
+                 });
+  std::size_t saved = sorted.size() - combined.size();
+  sorted = std::move(combined);
+  return saved;
+}
+
+}  // namespace imr

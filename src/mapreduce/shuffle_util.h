@@ -1,0 +1,38 @@
+// Sort/group/combine utilities shared by both engines' reduce sides.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "mapreduce/api.h"
+
+namespace imr {
+
+// Sorts records by key (and by value within equal keys when
+// `sort_values` — deterministic reduce input independent of arrival order).
+void sort_records(KVVec& records, bool sort_values);
+
+// Iterates sorted records as (key, values) groups, invoking `fn`.
+// Records MUST already be sorted by key.
+void for_each_group(
+    const KVVec& sorted,
+    const std::function<void(const Bytes& key,
+                             const std::vector<Bytes>& values)>& fn);
+
+// Runs a combiner over sorted map-side output, replacing the buffer with the
+// combined records. Returns the number of input records combined away.
+std::size_t run_combiner(KVVec& sorted, Reducer& combiner);
+
+// An Emitter that appends into a vector.
+class VectorEmitter : public Emitter {
+ public:
+  explicit VectorEmitter(KVVec& out) : out_(out) {}
+  void emit(Bytes key, Bytes value) override {
+    out_.emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  KVVec& out_;
+};
+
+}  // namespace imr

@@ -1,0 +1,114 @@
+#include "metrics/metrics.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace imr {
+
+const char* traffic_category_name(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kShuffle: return "shuffle";
+    case TrafficCategory::kReduceToMap: return "reduce_to_map";
+    case TrafficCategory::kBroadcast: return "broadcast";
+    case TrafficCategory::kDfsRead: return "dfs_read";
+    case TrafficCategory::kDfsWrite: return "dfs_write";
+    case TrafficCategory::kCheckpoint: return "checkpoint";
+    case TrafficCategory::kControl: return "control";
+  }
+  return "?";
+}
+
+const char* time_category_name(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kJobInit: return "job_init";
+    case TimeCategory::kTaskInit: return "task_init";
+    case TimeCategory::kDfsIo: return "dfs_io";
+    case TimeCategory::kNetwork: return "network";
+    case TimeCategory::kCompute: return "compute";
+    case TimeCategory::kSort: return "sort";
+  }
+  return "?";
+}
+
+int64_t MetricsRegistry::total_remote_bytes() const {
+  int64_t total = 0;
+  for (const auto& t : traffic_) total += t.remote_bytes.load();
+  return total;
+}
+
+int64_t MetricsRegistry::total_bytes() const {
+  int64_t total = 0;
+  for (const auto& t : traffic_) total += t.bytes.load();
+  return total;
+}
+
+void MetricsRegistry::inc(const std::string& name, int64_t by) {
+  std::lock_guard<std::mutex> lock(named_mu_);
+  named_[name] += by;
+}
+
+int64_t MetricsRegistry::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(named_mu_);
+  auto it = named_.find(name);
+  return it == named_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::named_counters() const {
+  std::lock_guard<std::mutex> lock(named_mu_);
+  return named_;
+}
+
+std::string MetricsRegistry::report() const {
+  std::ostringstream os;
+  os << "traffic (bytes total / remote / transfers):\n";
+  for (int i = 0; i < kNumTrafficCategories; ++i) {
+    const auto& t = traffic_[i];
+    if (t.transfers.load() == 0) continue;
+    os << "  " << traffic_category_name(static_cast<TrafficCategory>(i))
+       << ": " << human_bytes(static_cast<std::size_t>(t.bytes.load()))
+       << " / " << human_bytes(static_cast<std::size_t>(t.remote_bytes.load()))
+       << " / " << t.transfers.load() << "\n";
+  }
+  os << "time (simulated/measured ms):\n";
+  for (int i = 0; i < kNumTimeCategories; ++i) {
+    int64_t ns = times_[i].load();
+    if (ns == 0) continue;
+    os << "  " << time_category_name(static_cast<TimeCategory>(i)) << ": "
+       << fmt_double(static_cast<double>(ns) / 1e6, 2) << "\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(named_mu_);
+    if (!named_.empty()) {
+      os << "counters:\n";
+      for (const auto& [name, v] : named_) {
+        os << "  " << name << ": " << v << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& t : traffic_) {
+    t.bytes.store(0);
+    t.remote_bytes.store(0);
+    t.transfers.store(0);
+  }
+  for (auto& t : times_) t.store(0);
+  std::lock_guard<std::mutex> lock(named_mu_);
+  named_.clear();
+}
+
+void RunReport::capture(const MetricsRegistry& m) {
+  total_comm_bytes = m.total_remote_bytes();
+  shuffle_bytes = m.traffic_bytes(TrafficCategory::kShuffle);
+  dfs_read_bytes = m.traffic_bytes(TrafficCategory::kDfsRead);
+  dfs_write_bytes = m.traffic_bytes(TrafficCategory::kDfsWrite);
+  job_init_time = m.time(TimeCategory::kJobInit);
+  task_init_time = m.time(TimeCategory::kTaskInit);
+  network_time = m.time(TimeCategory::kNetwork);
+  dfs_time = m.time(TimeCategory::kDfsIo);
+}
+
+}  // namespace imr

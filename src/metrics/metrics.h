@@ -1,0 +1,146 @@
+// Metrics: counters and simulated-time accounting for one engine run.
+//
+// Every experiment creates a fresh MetricsRegistry; the cluster, DFS, network
+// fabric, and engines write into it. Two kinds of entries:
+//   - counters:  monotonically increasing int64 values (bytes, records, events)
+//   - sim times: accumulated simulated nanoseconds by category
+//
+// Traffic is recorded per TrafficCategory so that the paper's decomposition
+// figures (Fig. 10, Fig. 11) can be computed exactly from a run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace imr {
+
+// Categories of data motion and charged time. Every byte that moves through
+// net:: or dfs:: carries one of these.
+enum class TrafficCategory {
+  kShuffle,        // map -> reduce intermediate data
+  kReduceToMap,    // iMapReduce persistent reduce -> map channel
+  kBroadcast,      // one-to-all reduce -> map broadcast
+  kDfsRead,        // DFS file reads
+  kDfsWrite,       // DFS file writes
+  kCheckpoint,     // checkpoint dumps (also DFS writes, tracked separately)
+  kControl,        // termination / report / migration control messages
+};
+
+const char* traffic_category_name(TrafficCategory c);
+inline constexpr int kNumTrafficCategories = 7;
+
+// Categories of charged simulated time, used for the Fig. 10 factor
+// decomposition.
+enum class TimeCategory {
+  kJobInit,     // per-job setup (scheduling, JVM-equivalent startup)
+  kTaskInit,    // per-task setup
+  kDfsIo,       // DFS read/write transfer time
+  kNetwork,     // shuffle / broadcast / reduce-to-map transfer time
+  kCompute,     // user map/reduce function execution (measured, not charged)
+  kSort,        // sort/group time in reduce (measured)
+};
+
+const char* time_category_name(TimeCategory c);
+inline constexpr int kNumTimeCategories = 6;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- traffic ---
+  void add_traffic(TrafficCategory c, std::size_t bytes, bool remote) {
+    auto& t = traffic_[static_cast<int>(c)];
+    t.bytes.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    t.transfers.fetch_add(1, std::memory_order_relaxed);
+    if (remote) {
+      t.remote_bytes.fetch_add(static_cast<int64_t>(bytes),
+                               std::memory_order_relaxed);
+    }
+  }
+  int64_t traffic_bytes(TrafficCategory c) const {
+    return traffic_[static_cast<int>(c)].bytes.load();
+  }
+  int64_t traffic_remote_bytes(TrafficCategory c) const {
+    return traffic_[static_cast<int>(c)].remote_bytes.load();
+  }
+  int64_t traffic_transfers(TrafficCategory c) const {
+    return traffic_[static_cast<int>(c)].transfers.load();
+  }
+  // All bytes that crossed between two distinct workers (the paper's
+  // "communication cost").
+  int64_t total_remote_bytes() const;
+  int64_t total_bytes() const;
+
+  // --- simulated / measured time ---
+  void add_time(TimeCategory c, SimDuration d) {
+    times_[static_cast<int>(c)].fetch_add(d.count(),
+                                          std::memory_order_relaxed);
+  }
+  SimDuration time(TimeCategory c) const {
+    return SimDuration(times_[static_cast<int>(c)].load());
+  }
+
+  // --- named counters (records emitted, iterations run, tasks launched...) ---
+  void inc(const std::string& name, int64_t by = 1);
+  int64_t count(const std::string& name) const;
+  std::map<std::string, int64_t> named_counters() const;
+
+  // Render everything as a human-readable report.
+  std::string report() const;
+
+  void reset();
+
+ private:
+  struct Traffic {
+    std::atomic<int64_t> bytes{0};
+    std::atomic<int64_t> remote_bytes{0};
+    std::atomic<int64_t> transfers{0};
+  };
+  Traffic traffic_[kNumTrafficCategories];
+  std::atomic<int64_t> times_[kNumTimeCategories] = {};
+
+  mutable std::mutex named_mu_;
+  std::map<std::string, int64_t> named_;
+};
+
+// Per-iteration record of one engine run; engines append one entry per
+// completed iteration so benches can plot "time vs iteration" curves
+// (Fig. 4–7) and compute decompositions.
+struct IterationStat {
+  int iteration = 0;          // 1-based
+  double wall_ms_end = 0.0;   // wall time from run start to end of iteration
+  double init_ms = 0.0;       // job+task init charged during this iteration
+  double distance = 0.0;      // merged convergence distance (if measured)
+};
+
+struct RunReport {
+  std::string label;
+  double total_wall_ms = 0.0;
+  double init_wall_ms = 0.0;  // total scaled init time within total_wall_ms
+  int iterations_run = 0;
+  bool converged = false;
+  std::vector<IterationStat> iterations;
+  // Snapshot of key totals at end of run.
+  int64_t total_comm_bytes = 0;    // all remote bytes
+  int64_t shuffle_bytes = 0;
+  int64_t dfs_read_bytes = 0;
+  int64_t dfs_write_bytes = 0;
+  SimDuration job_init_time{0};
+  SimDuration task_init_time{0};
+  SimDuration network_time{0};
+  SimDuration dfs_time{0};
+
+  // Fill the byte/time totals from a registry.
+  void capture(const MetricsRegistry& m);
+};
+
+}  // namespace imr

@@ -1,0 +1,68 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace imr {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  IMR_CHECK_MSG(row.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& os) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::size_t pad = widths[c] - row[c].size();
+      // Left-align the first column (labels), right-align the rest (numbers).
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+      os << " | ";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  render_row(header_, os);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) render_row(row, os);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace imr

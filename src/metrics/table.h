@@ -1,0 +1,32 @@
+// Fixed-width text table renderer for bench/report output.
+//
+// Renders the paper-style tables (dataset statistics, running-time series,
+// factor decompositions) with right-aligned numeric columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace imr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  // Render with column separators and a rule under the header.
+  std::string render() const;
+
+  // Render as CSV (for downstream plotting).
+  std::string csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imr

@@ -1,0 +1,53 @@
+#include "net/fabric.h"
+
+#include "common/error.h"
+
+namespace imr {
+
+std::shared_ptr<Endpoint> Fabric::create_endpoint(const std::string& name,
+                                                  int home_worker) {
+  auto ep = std::make_shared<Endpoint>(name, home_worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[name] = ep;
+  return ep;
+}
+
+std::shared_ptr<Endpoint> Fabric::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) throw Error("no such endpoint: " + name);
+  return it->second;
+}
+
+void Fabric::remove_endpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(name);
+}
+
+void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
+                  TrafficCategory category) {
+  std::size_t bytes = msg.payload_bytes();
+  bool local = (sender_worker == to.home_worker());
+
+  double bw = local ? cost_.local_bandwidth : cost_.net_bandwidth;
+  SimDuration latency = local ? cost_.local_latency : cost_.net_latency;
+
+  // Sender pays serialization onto the wire.
+  SimDuration ser = transfer_time(bytes, bw);
+  vt.advance(ser);
+  metrics_.add_time(TimeCategory::kNetwork, ser + latency);
+  metrics_.add_traffic(category, bytes, /*remote=*/!local);
+
+  msg.vt_ready = vt.now_ns() + latency.count();
+  to.queue_.push(std::move(msg));
+}
+
+void Fabric::broadcast(int sender_worker, VClock& vt,
+                       const std::vector<std::shared_ptr<Endpoint>>& to,
+                       const NetMessage& msg, TrafficCategory category) {
+  for (const auto& ep : to) {
+    send(sender_worker, vt, *ep, msg, category);
+  }
+}
+
+}  // namespace imr

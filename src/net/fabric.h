@@ -1,0 +1,119 @@
+// net::Fabric — message passing between tasks with virtual-time costing.
+//
+// An Endpoint is a named mailbox owned by a task and homed on a worker.
+// Senders pay the serialization time (bytes / bandwidth) on their own virtual
+// clock — consecutive sends from one task serialize, like a NIC — and the
+// message becomes available at the receiver at `sender-finish + latency`.
+// Receivers sync their clock forward to each message's ready time, so a
+// barrier over many senders is automatically max() over their finish times.
+//
+// Local delivery (sender and receiver homed on the same worker) is charged at
+// memory bandwidth and does not count as remote traffic — this is exactly the
+// saving iMapReduce gets from co-locating each reduce task with its paired
+// map task (§3.2.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/blocking_queue.h"
+#include "common/bytes.h"
+#include "common/sim_time.h"
+#include "metrics/metrics.h"
+
+namespace imr {
+
+struct NetMessage {
+  enum class Kind { kData, kEos, kControl };
+
+  Kind kind = Kind::kData;
+  int64_t vt_ready = 0;  // virtual time of availability at the receiver
+  int from_task = -1;    // engine-level sender id (task index, or -1 master)
+  int iteration = 0;     // iterative protocols tag batches by iteration
+  int generation = 0;    // job generation; receivers drop stale-generation
+                         // data after a rollback (§3.4)
+  KVVec records;         // data payload
+  Bytes control;         // control payload
+
+  std::size_t payload_bytes() const {
+    // 32 bytes of framing/header per message.
+    return wire_size(records) + control.size() + 32;
+  }
+};
+
+// A mailbox. Created via Fabric so that delivery can be costed.
+class Endpoint {
+ public:
+  Endpoint(std::string name, int home_worker)
+      : name_(std::move(name)), home_worker_(home_worker) {}
+
+  const std::string& name() const { return name_; }
+  int home_worker() const { return home_worker_.load(); }
+  // Tasks migrate between workers (§3.4.2); their mailbox moves with them.
+  void set_home_worker(int w) { home_worker_.store(w); }
+
+  // Blocking receive; syncs `vt` to the message availability time.
+  // Returns nullopt when the endpoint is closed and drained.
+  std::optional<NetMessage> receive(VClock& vt) {
+    auto msg = queue_.pop();
+    if (msg) vt.sync_to(msg->vt_ready);
+    return msg;
+  }
+
+  std::optional<NetMessage> try_receive(VClock& vt) {
+    auto msg = queue_.try_pop();
+    if (msg) vt.sync_to(msg->vt_ready);
+    return msg;
+  }
+
+  void close() { queue_.close(); }
+  // Discard stale traffic and reopen (task rollback).
+  void reset() { queue_.reset(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  friend class Fabric;
+  std::string name_;
+  std::atomic<int> home_worker_;
+  BlockingQueue<NetMessage> queue_;
+};
+
+class Fabric {
+ public:
+  Fabric(const CostModel& cost, MetricsRegistry& metrics)
+      : cost_(cost), metrics_(metrics) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Creates and registers an endpoint. Replaces any previous endpoint with
+  // the same name (engines re-create mailboxes between jobs).
+  std::shared_ptr<Endpoint> create_endpoint(const std::string& name,
+                                            int home_worker);
+  std::shared_ptr<Endpoint> find(const std::string& name) const;
+  void remove_endpoint(const std::string& name);
+
+  // Sends `msg` from a task homed on `sender_worker` whose clock is `vt`.
+  // Charges the sender and stamps msg.vt_ready.
+  void send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
+            TrafficCategory category);
+
+  // Convenience: send the same payload to many endpoints (reduce->map
+  // broadcast, §5.1). Each copy is charged separately.
+  void broadcast(int sender_worker, VClock& vt,
+                 const std::vector<std::shared_ptr<Endpoint>>& to,
+                 const NetMessage& msg, TrafficCategory category);
+
+ private:
+  const CostModel& cost_;
+  MetricsRegistry& metrics_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace imr

@@ -1,0 +1,161 @@
+// Algorithm-level unit tests: codecs, references, and invariants that do not
+// need a cluster.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "algorithms/jacobi.h"
+#include "algorithms/kmeans.h"
+#include "algorithms/matpower.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+
+namespace imr {
+namespace {
+
+TEST(SsspUnit, JoinedCodecRoundTrip) {
+  std::vector<WEdge> edges = {{3, 1.5}, {9, 0.25}};
+  Bytes enc = Sssp::encode_joined(2.75, edges);
+  double d;
+  std::vector<WEdge> out;
+  Sssp::decode_joined(enc, d, out);
+  EXPECT_EQ(d, 2.75);
+  EXPECT_EQ(out, edges);
+}
+
+TEST(SsspUnit, ReferenceFixpointIsShortestPaths) {
+  // Hand-built graph: 0->1 (1), 0->2 (5), 1->2 (1), 2->3 (1).
+  Graph g;
+  g.weighted = true;
+  g.adj = {{{1, 1.0}, {2, 5.0}}, {{2, 1.0}}, {{3, 1.0}}, {}};
+  auto d = Sssp::reference(g, 0, -1);
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(d[1], 1.0);
+  EXPECT_EQ(d[2], 2.0);
+  EXPECT_EQ(d[3], 3.0);
+}
+
+TEST(SsspUnit, ReferenceIterationsAreBfsWaves) {
+  Graph g;
+  g.weighted = true;
+  g.adj = {{{1, 1.0}}, {{2, 1.0}}, {{3, 1.0}}, {}};
+  auto d1 = Sssp::reference(g, 0, 1);
+  EXPECT_EQ(d1[1], 1.0);
+  EXPECT_TRUE(std::isinf(d1[2]));
+  auto d2 = Sssp::reference(g, 0, 2);
+  EXPECT_EQ(d2[2], 2.0);
+  EXPECT_TRUE(std::isinf(d2[3]));
+}
+
+TEST(PageRankUnit, JoinedCodecRoundTrip) {
+  std::vector<uint32_t> adj = {1, 5, 9};
+  Bytes enc = PageRank::encode_joined(0.125, adj);
+  double r;
+  std::vector<uint32_t> out;
+  PageRank::decode_joined(enc, r, out);
+  EXPECT_EQ(r, 0.125);
+  EXPECT_EQ(out, adj);
+}
+
+TEST(PageRankUnit, ReferencePreservesMassWithoutDanglingNodes) {
+  // Ring graph: every node has out-degree 1, so no rank leaks.
+  Graph g;
+  g.adj.resize(10);
+  for (uint32_t u = 0; u < 10; ++u) g.adj[u] = {{(u + 1) % 10, 1.0}};
+  auto r = PageRank::reference(g, 20);
+  double total = std::accumulate(r.begin(), r.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (double v : r) EXPECT_NEAR(v, 0.1, 1e-9);  // symmetric graph
+}
+
+TEST(PageRankUnit, HigherInDegreeHigherRank) {
+  // Star: everyone points at node 0.
+  Graph g;
+  g.adj.resize(6);
+  for (uint32_t u = 1; u < 6; ++u) g.adj[u] = {{0, 1.0}};
+  auto r = PageRank::reference(g, 30);
+  for (uint32_t u = 1; u < 6; ++u) EXPECT_GT(r[0], r[u]);
+}
+
+TEST(KMeansUnit, PartialCodecRoundTrip) {
+  Bytes enc = KMeans::encode_partial(42, {1.0, -2.0});
+  uint64_t count;
+  std::vector<double> sum;
+  KMeans::decode_partial(enc, count, sum);
+  EXPECT_EQ(count, 42u);
+  EXPECT_EQ(sum, (std::vector<double>{1.0, -2.0}));
+}
+
+TEST(KMeansUnit, GeneratePointsDeterministicAndShaped) {
+  KMeansDataSpec spec;
+  spec.num_points = 100;
+  spec.dim = 5;
+  auto a = KMeans::generate_points(spec);
+  auto b = KMeans::generate_points(spec);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a[0].size(), 5u);
+}
+
+TEST(KMeansUnit, ReferenceConvergesOnSeparatedClusters) {
+  KMeansDataSpec spec;
+  spec.num_points = 400;
+  spec.dim = 2;
+  spec.num_clusters = 3;
+  spec.spread = 0.02;
+  auto points = KMeans::generate_points(spec);
+  std::map<uint32_t, std::vector<double>> init;
+  for (uint32_t c = 0; c < 3; ++c) init[c] = points[c];
+  auto r10 = KMeans::reference(points, init, 10);
+  auto r11 = KMeans::reference(points, init, 11);
+  // Fixpoint reached: one more iteration changes nothing.
+  for (const auto& [cid, c] : r10) {
+    for (std::size_t d = 0; d < c.size(); ++d) {
+      EXPECT_NEAR(c[d], r11.at(cid)[d], 1e-12);
+    }
+  }
+}
+
+TEST(MatPowerUnit, PairKeyRoundTripAndOrder) {
+  uint32_t i, k;
+  MatPower::decode_pair_key(MatPower::pair_key(7, 9), i, k);
+  EXPECT_EQ(i, 7u);
+  EXPECT_EQ(k, 9u);
+  // Row-major lexicographic order.
+  EXPECT_LT(MatPower::pair_key(1, 9), MatPower::pair_key(2, 0));
+}
+
+TEST(MatPowerUnit, ReferenceMatchesManualSquare) {
+  Matrix m;
+  m.n = 2;
+  m.a = {1, 2, 3, 4};
+  Matrix sq = MatPower::reference(m, 1);  // M^2
+  EXPECT_EQ(sq.at(0, 0), 7);
+  EXPECT_EQ(sq.at(0, 1), 10);
+  EXPECT_EQ(sq.at(1, 0), 15);
+  EXPECT_EQ(sq.at(1, 1), 22);
+}
+
+TEST(JacobiUnit, GeneratedSystemIsDiagonallyDominant) {
+  JacobiSystem sys = Jacobi::generate(100, 0.1, 3);
+  for (uint32_t i = 0; i < sys.n; ++i) {
+    double row = 0;
+    for (const WEdge& e : sys.off_diag[i]) row += std::abs(e.weight);
+    EXPECT_GT(sys.diag[i], row);
+  }
+}
+
+TEST(JacobiUnit, ReferenceConverges) {
+  JacobiSystem sys = Jacobi::generate(80, 0.1, 5);
+  auto x = Jacobi::reference(sys, 100);
+  for (uint32_t i = 0; i < sys.n; ++i) {
+    double lhs = sys.diag[i] * x[i];
+    for (const WEdge& e : sys.off_diag[i]) lhs += e.weight * x[e.dst];
+    EXPECT_NEAR(lhs, sys.b[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace imr

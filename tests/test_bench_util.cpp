@@ -1,0 +1,69 @@
+// bench_util harness tests: presets, series math, and formatting.
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+
+namespace imr {
+namespace {
+
+TEST(Presets, LocalClusterMatchesPaperSetup) {
+  ClusterConfig c = bench::local_cluster_preset();
+  EXPECT_EQ(c.num_workers, 4);
+  EXPECT_EQ(c.map_slots_per_worker, 2);  // Hadoop default: two per slave
+  EXPECT_GT(c.cost.job_init.count(), 0);
+}
+
+TEST(Presets, Ec2SlowerThanLocal) {
+  ClusterConfig local = bench::local_cluster_preset();
+  ClusterConfig ec2 = bench::ec2_preset(20);
+  EXPECT_EQ(ec2.num_workers, 20);
+  EXPECT_GT(ec2.cost.job_init, local.cost.job_init);
+  EXPECT_LT(ec2.cost.net_bandwidth, local.cost.net_bandwidth);
+}
+
+TEST(Presets, DataScaleTransformsPerByteCosts) {
+  CostModel base = CostModel::local_cluster();
+  CostModel scaled = base.scaled_for_data(10.0);
+  EXPECT_DOUBLE_EQ(scaled.net_bandwidth, base.net_bandwidth / 10.0);
+  EXPECT_DOUBLE_EQ(scaled.dfs_write, base.dfs_write / 10.0);
+  EXPECT_DOUBLE_EQ(scaled.compute_scale, base.compute_scale * 10.0);
+  EXPECT_EQ(scaled.dfs_block_size, base.dfs_block_size / 10);
+  // Fixed costs are size-independent.
+  EXPECT_EQ(scaled.job_init, base.job_init);
+  EXPECT_EQ(scaled.net_latency, base.net_latency);
+}
+
+TEST(Series, FromReportIsCumulativeSeconds) {
+  RunReport r;
+  for (int k = 1; k <= 3; ++k) {
+    IterationStat st;
+    st.iteration = k;
+    st.wall_ms_end = 1000.0 * k;
+    st.init_ms = 200.0;
+    r.iterations.push_back(st);
+  }
+  bench::Series s = bench::series_of("x", r);
+  ASSERT_EQ(s.cumulative_sec.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.cumulative_sec[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.cumulative_sec[2], 3.0);
+  EXPECT_DOUBLE_EQ(s.total(), 3.0);
+
+  bench::Series ex = bench::series_ex_init("x", r);
+  EXPECT_DOUBLE_EQ(ex.cumulative_sec[0], 0.8);   // 1.0 - 0.2
+  EXPECT_DOUBLE_EQ(ex.cumulative_sec[2], 2.4);   // 3.0 - 3*0.2
+}
+
+TEST(Series, EmptyReport) {
+  RunReport r;
+  EXPECT_DOUBLE_EQ(bench::series_of("x", r).total(), 0.0);
+}
+
+TEST(Fmt, RatiosAndPercentages) {
+  EXPECT_EQ(bench::fmt_ratio(300, 100), "3.00x");
+  EXPECT_EQ(bench::fmt_ratio(1, 0), "n/a");
+  EXPECT_EQ(bench::fmt_pct(25, 100), "25.0%");
+  EXPECT_EQ(bench::fmt_sec(1500), "1.5 s");
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,94 @@
+// Cluster facade tests: slots, speeds, failure scheduling, task context
+// charging.
+#include <gtest/gtest.h>
+
+#include "cluster/task_context.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+TEST(Cluster, SlotArithmetic) {
+  ClusterConfig cfg;
+  cfg.num_workers = 5;
+  cfg.map_slots_per_worker = 3;
+  cfg.reduce_slots_per_worker = 2;
+  cfg.cost = CostModel::free();
+  Cluster c(cfg);
+  EXPECT_EQ(c.num_workers(), 5);
+  EXPECT_EQ(c.map_slots(), 15);
+  EXPECT_EQ(c.reduce_slots(), 10);
+}
+
+TEST(Cluster, WorkerSpeeds) {
+  auto c = testutil::free_cluster();
+  EXPECT_EQ(c->worker_speed(0), 1.0);
+  c->set_worker_speed(0, 0.5);
+  EXPECT_EQ(c->worker_speed(0), 0.5);
+  EXPECT_THROW(c->set_worker_speed(0, -1.0), Error);
+  EXPECT_THROW(c->set_worker_speed(99, 1.0), Error);
+}
+
+TEST(Cluster, FailureSchedule) {
+  auto c = testutil::free_cluster();
+  EXPECT_FALSE(c->worker_failed(1, 100));
+  c->schedule_worker_failure(1, 5);
+  EXPECT_FALSE(c->worker_failed(1, 4));
+  EXPECT_TRUE(c->worker_failed(1, 5));
+  EXPECT_TRUE(c->worker_failed(1, 9));
+  EXPECT_TRUE(c->worker_alive(1));  // alive until the master marks it dead
+  c->mark_dead(1);
+  EXPECT_FALSE(c->worker_alive(1));
+  c->revive_worker(1);
+  EXPECT_TRUE(c->worker_alive(1));
+  EXPECT_FALSE(c->worker_failed(1, 100));  // revive clears the schedule
+}
+
+TEST(TaskContext, ChargesFixedCosts) {
+  auto c = testutil::free_cluster();
+  TaskContext ctx(*c, "t", 0, 1000);
+  EXPECT_EQ(ctx.vt().now_ns(), 1000);
+  ctx.charge(sim_ms(2), TimeCategory::kTaskInit);
+  EXPECT_EQ(ctx.vt().now_ns(), 1000 + 2000000);
+  EXPECT_EQ(c->metrics().time(TimeCategory::kTaskInit), sim_ms(2));
+}
+
+TEST(TaskContext, ComputeScaledBySpeedFactor) {
+  ClusterConfig cfg;
+  cfg.cost = CostModel::free();
+  cfg.cost.compute_scale = 10.0;
+  Cluster c(cfg);
+  c.set_worker_speed(1, 0.5);
+
+  TaskContext fast(c, "fast", 0, 0);
+  fast.charge_compute(1000);
+  EXPECT_EQ(fast.vt().now_ns(), 10000);
+
+  TaskContext slow(c, "slow", 1, 0);
+  slow.charge_compute(1000);
+  EXPECT_EQ(slow.vt().now_ns(), 20000);  // half speed = double time
+}
+
+TEST(TaskContext, ZeroComputeScaleChargesNothing) {
+  auto c = testutil::free_cluster();
+  TaskContext ctx(*c, "t", 0, 0);
+  ctx.charge_compute(123456789);
+  EXPECT_EQ(ctx.vt().now_ns(), 0);
+}
+
+TEST(TaskContext, DfsHelpersChargeTheTaskClock) {
+  auto c = testutil::costed_cluster();
+  TaskContext writer(*c, "w", 0, 0);
+  KVVec recs;
+  recs.emplace_back(Bytes("k"), Bytes(100000, 'v'));
+  writer.dfs_write("f", std::move(recs));
+  EXPECT_GT(writer.vt().now_ns(), 0);
+
+  TaskContext reader(*c, "r", 1, 0);
+  KVVec back = reader.dfs_read_all("f");
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_GT(reader.vt().now_ns(), 0);
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,94 @@
+// End-to-end smoke tests: SSSP through both engines on a small graph,
+// compared against the sequential reference.
+#include <gtest/gtest.h>
+
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using testutil::expect_near_vectors;
+
+Graph small_graph() {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 200;
+  spec.seed = 3;
+  return generate_lognormal_graph(spec);
+}
+
+TEST(EnginesSmoke, MapReduceBaselineMatchesReference) {
+  auto cluster = testutil::free_cluster();
+  Graph g = small_graph();
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterativeSpec spec = Sssp::baseline("sssp", "work", /*max_iterations=*/5);
+  IterativeDriver driver(*cluster);
+  RunReport report = driver.run(spec);
+  EXPECT_EQ(report.iterations_run, 5);
+
+  auto result = Sssp::read_result_mr(*cluster, driver.final_output(),
+                                     g.num_nodes());
+  auto expected = Sssp::reference(g, 0, 5);
+  expect_near_vectors(expected, result, 1e-12);
+}
+
+TEST(EnginesSmoke, IMapReduceMatchesReference) {
+  auto cluster = testutil::free_cluster();
+  Graph g = small_graph();
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", /*max_iterations=*/5);
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_EQ(report.iterations_run, 5);
+
+  auto result = Sssp::read_result_imr(*cluster, "out", g.num_nodes());
+  auto expected = Sssp::reference(g, 0, 5);
+  expect_near_vectors(expected, result, 1e-12);
+}
+
+TEST(EnginesSmoke, IMapReduceSyncMatchesReference) {
+  auto cluster = testutil::free_cluster();
+  Graph g = small_graph();
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", /*max_iterations=*/5);
+  conf.async_maps = false;
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_EQ(report.iterations_run, 5);
+
+  auto result = Sssp::read_result_imr(*cluster, "out", g.num_nodes());
+  auto expected = Sssp::reference(g, 0, 5);
+  expect_near_vectors(expected, result, 1e-12);
+}
+
+TEST(EnginesSmoke, CostedClusterTimesAreOrdered) {
+  auto cluster = testutil::costed_cluster();
+  Graph g = small_graph();
+  Sssp::setup(*cluster, g, 0, "sssp");
+  cluster->metrics().reset();
+
+  IterativeDriver driver(*cluster);
+  RunReport mr = driver.run(Sssp::baseline("sssp", "work", 5));
+
+  cluster->metrics().reset();
+  IterativeEngine engine(*cluster);
+  RunReport imr = engine.run(Sssp::imapreduce("sssp", "out", 5));
+
+  EXPECT_GT(mr.total_wall_ms, 0);
+  EXPECT_GT(imr.total_wall_ms, 0);
+  // iMapReduce must beat the chain-of-jobs baseline.
+  EXPECT_LT(imr.total_wall_ms, mr.total_wall_ms);
+  // Per-iteration curves are monotone.
+  for (std::size_t i = 1; i < imr.iterations.size(); ++i) {
+    EXPECT_GT(imr.iterations[i].wall_ms_end, imr.iterations[i - 1].wall_ms_end);
+  }
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,134 @@
+// Graph generator & format tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/formats.h"
+#include "graph/generator.h"
+
+namespace imr {
+namespace {
+
+TEST(Generator, Deterministic) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 500;
+  spec.seed = 42;
+  Graph a = generate_lognormal_graph(spec);
+  Graph b = generate_lognormal_graph(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (uint32_t u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.adj[u], b.adj[u]);
+  }
+}
+
+TEST(Generator, SeedChangesGraph) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 500;
+  spec.seed = 1;
+  Graph a = generate_lognormal_graph(spec);
+  spec.seed = 2;
+  Graph b = generate_lognormal_graph(spec);
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+TEST(Generator, AverageDegreeTracksLogNormalMean) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 30000;
+  spec.degree_mu = 1.5;
+  spec.degree_sigma = 1.0;
+  Graph g = generate_lognormal_graph(spec);
+  double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  double expected = std::exp(1.5 + 0.5);
+  // Dedup of repeated targets and self-loop removal shave a little off.
+  EXPECT_GT(avg, expected * 0.75);
+  EXPECT_LT(avg, expected * 1.1);
+}
+
+TEST(Generator, NoSelfLoopsNoDuplicates) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 2000;
+  spec.seed = 9;
+  Graph g = generate_lognormal_graph(spec);
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (std::size_t i = 0; i < g.adj[u].size(); ++i) {
+      EXPECT_NE(g.adj[u][i].dst, u);
+      if (i > 0) EXPECT_LT(g.adj[u][i - 1].dst, g.adj[u][i].dst);
+    }
+  }
+}
+
+TEST(Generator, WeightsPositiveWhenWeighted) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 1000;
+  spec.weighted = true;
+  Graph g = generate_lognormal_graph(spec);
+  for (const auto& edges : g.adj) {
+    for (const WEdge& e : edges) EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(Generator, NamedSsspDatasets) {
+  for (const char* name : {"dblp", "facebook", "sssp-s", "sssp-m", "sssp-l"}) {
+    Graph g = make_sssp_graph(name, 0.0005, 1);
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_TRUE(g.weighted) << name;
+  }
+  EXPECT_THROW(make_sssp_graph("bogus", 1.0, 1), ConfigError);
+}
+
+TEST(Generator, NamedPageRankDatasets) {
+  for (const char* name :
+       {"google", "berkstan", "pagerank-s", "pagerank-m", "pagerank-l"}) {
+    Graph g = make_pagerank_graph(name, 0.0005, 1);
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_FALSE(g.weighted) << name;
+  }
+  EXPECT_THROW(make_pagerank_graph("bogus", 1.0, 1), ConfigError);
+}
+
+TEST(Formats, RoundTripWeighted) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 50;
+  spec.seed = 5;
+  Graph g = generate_lognormal_graph(spec);
+  Graph parsed = parse_adjacency_text(to_adjacency_text(g), true);
+  ASSERT_EQ(parsed.num_nodes(), g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(parsed.adj[u].size(), g.adj[u].size());
+    for (std::size_t i = 0; i < g.adj[u].size(); ++i) {
+      EXPECT_EQ(parsed.adj[u][i].dst, g.adj[u][i].dst);
+      EXPECT_NEAR(parsed.adj[u][i].weight, g.adj[u][i].weight, 1e-6);
+    }
+  }
+}
+
+TEST(Formats, ParsesUnweightedAndComments) {
+  Graph g = parse_adjacency_text("# comment\n0\t1,2\n1\t2\n2\t\n", false);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.adj[0].size(), 2u);
+  EXPECT_EQ(g.adj[1][0].dst, 2u);
+  EXPECT_TRUE(g.adj[2].empty());
+}
+
+TEST(Formats, MalformedLinesThrow) {
+  EXPECT_THROW(parse_adjacency_text("garbage", false), FormatError);
+  EXPECT_THROW(parse_adjacency_text("x\t1", false), FormatError);
+  EXPECT_THROW(parse_adjacency_text("0\t1:2", false), FormatError);
+  EXPECT_THROW(parse_adjacency_text("0\t1", true), FormatError);
+}
+
+TEST(Stats, FileBytesScalesWithEdges) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 1000;
+  Graph small = generate_lognormal_graph(spec);
+  spec.num_nodes = 10000;
+  Graph big = generate_lognormal_graph(spec);
+  EXPECT_GT(big.file_bytes(), small.file_bytes());
+  GraphStats s = stats_of("x", small);
+  EXPECT_EQ(s.nodes, 1000u);
+  EXPECT_EQ(s.edges, small.num_edges());
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,147 @@
+// Auxiliary-phase tests beyond the K-means happy path: reduce-sourced aux
+// phases, aux monitoring without termination, multiple aux reducers, and
+// configuration guards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+Graph aux_graph(uint64_t seed = 83) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 300;
+  spec.seed = seed;
+  return generate_lognormal_graph(spec);
+}
+
+// An aux pipeline that counts records it saw, into a shared atomic (test
+// instrumentation only — real aux phases communicate via the signal key).
+struct CountingAux {
+  std::shared_ptr<std::atomic<int64_t>> seen =
+      std::make_shared<std::atomic<int64_t>>(0);
+
+  AuxConf conf(AuxConf::Source source) {
+    AuxConf aux;
+    aux.source = source;
+    auto seen_ptr = seen;
+    aux.mapper = make_iter_mapper(
+        [seen_ptr](const Bytes& key, const Bytes& value, const Bytes&,
+                   IterEmitter& out) {
+          seen_ptr->fetch_add(1);
+          out.emit(key, value);
+        });
+    aux.reducer = make_iter_reducer(
+        [](const Bytes&, const std::vector<Bytes>&, IterEmitter&) {});
+    aux.num_reduce_tasks = 2;
+    return aux;
+  }
+};
+
+TEST(ImrAuxMore, ReduceSourcedAuxSeesEveryStateRecord) {
+  auto cluster = testutil::free_cluster();
+  Graph g = aux_graph();
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  CountingAux counting;
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 4);
+  conf.aux = counting.conf(AuxConf::Source::kReduceOutput);
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(conf);
+  EXPECT_EQ(r.iterations_run, 4);
+  // Every node's state record per iteration flows through the aux phase.
+  EXPECT_EQ(counting.seen->load(),
+            static_cast<int64_t>(g.num_nodes()) * 4);
+}
+
+TEST(ImrAuxMore, MapSideAuxSeesSideOutputsOnly) {
+  auto cluster = testutil::free_cluster();
+  Graph g = aux_graph(89);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  CountingAux counting;
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  // The SSSP mapper never calls side(): the aux phase sees nothing but the
+  // per-iteration EOS markers.
+  conf.aux = counting.conf(AuxConf::Source::kMapSideOutput);
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(conf);
+  EXPECT_EQ(r.iterations_run, 3);
+  EXPECT_EQ(counting.seen->load(), 0);
+}
+
+TEST(ImrAuxMore, AuxSignalOnFirstIterationStopsImmediately) {
+  auto cluster = testutil::free_cluster();
+  Graph g = aux_graph(97);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 20);
+  AuxConf aux;
+  aux.source = AuxConf::Source::kReduceOutput;
+  aux.mapper = make_iter_mapper([](const Bytes& key, const Bytes& value,
+                                   const Bytes&, IterEmitter& out) {
+    out.emit(key, value);
+  });
+  aux.reducer = make_iter_reducer(
+      [](const Bytes&, const std::vector<Bytes>&, IterEmitter& out) {
+        out.emit(kTerminateSignalKey, Bytes("now"));
+      });
+  aux.num_reduce_tasks = 1;
+  conf.aux = std::move(aux);
+
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(conf);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations_run, 4);  // signal defers to the next decision
+  // Final output exists and matches the state of the last decided iteration.
+  auto d = Sssp::read_result_imr(*cluster, "out", g.num_nodes());
+  auto expected = Sssp::reference(g, 0, r.iterations_run);
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    bool both_inf = std::isinf(expected[u]) && std::isinf(d[u]);
+    EXPECT_TRUE(both_inf || expected[u] == d[u]) << u;
+  }
+}
+
+TEST(ImrAuxMore, AuxIncompatibleWithRollbackFeatures) {
+  auto cluster = testutil::free_cluster();
+  Graph g = aux_graph(101);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  CountingAux counting;
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  conf.aux = counting.conf(AuxConf::Source::kReduceOutput);
+  conf.checkpoint_every = 1;
+  IterativeEngine engine(*cluster);
+  EXPECT_THROW(engine.run(conf), ConfigError);
+}
+
+TEST(ImrAuxMore, AuxSlotsCountAgainstLimits) {
+  // 4 workers x 2 map slots = 8; T=4 main + 4 aux + one phase = fits;
+  // T=8 main + 8 aux does not.
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.map_slots_per_worker = 2;
+  cfg.reduce_slots_per_worker = 2;
+  cfg.cost = CostModel::free();
+  Cluster cluster(cfg);
+  Graph g = aux_graph(103);
+  Sssp::setup(cluster, g, 0, "sssp");
+  CountingAux counting;
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 2);
+  conf.aux = counting.conf(AuxConf::Source::kReduceOutput);
+  conf.num_tasks = 8;
+  IterativeEngine engine(cluster);
+  EXPECT_THROW(engine.run(conf), ConfigError);
+
+  conf.num_tasks = 4;
+  EXPECT_NO_THROW(engine.run(conf));
+}
+
+}  // namespace
+}  // namespace imr

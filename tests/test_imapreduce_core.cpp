@@ -1,0 +1,210 @@
+// iMapReduce engine core tests: correctness parity with both the sequential
+// references and the MapReduce baseline, across worker counts, task counts,
+// async/sync modes, and buffer sizes (parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using testutil::expect_near_vectors;
+
+struct ParitySetup {
+  int workers;
+  int num_tasks;
+  bool async;
+  int buffer_records;
+};
+
+class ImrParity : public ::testing::TestWithParam<ParitySetup> {};
+
+TEST_P(ImrParity, SsspMatchesReferenceAndBaseline) {
+  const ParitySetup p = GetParam();
+  auto cluster = testutil::free_cluster(p.workers, 4, 4);
+  LogNormalGraphSpec gspec;
+  gspec.num_nodes = 300;
+  gspec.seed = 11;
+  Graph g = generate_lognormal_graph(gspec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 4);
+  conf.num_tasks = p.num_tasks;
+  conf.async_maps = p.async;
+  conf.buffer_records = p.buffer_records;
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_EQ(report.iterations_run, 4);
+
+  auto expected = Sssp::reference(g, 0, 4);
+  expect_near_vectors(expected,
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      1e-12);
+}
+
+TEST_P(ImrParity, PageRankMatchesReference) {
+  const ParitySetup p = GetParam();
+  auto cluster = testutil::free_cluster(p.workers, 4, 4);
+  Graph g = make_pagerank_graph("google", 0.0005, 21);
+  PageRank::setup(*cluster, g, "pr");
+
+  IterJobConf conf = PageRank::imapreduce("pr", "out", g.num_nodes(), 5);
+  conf.num_tasks = p.num_tasks;
+  conf.async_maps = p.async;
+  conf.buffer_records = p.buffer_records;
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_EQ(report.iterations_run, 5);
+
+  auto expected = PageRank::reference(g, 5);
+  expect_near_vectors(
+      expected, PageRank::read_result_imr(*cluster, "out", g.num_nodes()),
+      1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImrParity,
+    ::testing::Values(ParitySetup{1, 1, true, 4096},
+                      ParitySetup{2, 2, true, 4096},
+                      ParitySetup{4, 4, true, 4096},
+                      ParitySetup{4, 8, true, 4096},
+                      ParitySetup{3, 5, true, 4096},
+                      ParitySetup{4, 4, false, 4096},
+                      ParitySetup{4, 8, false, 4096},
+                      ParitySetup{4, 4, true, 1},
+                      ParitySetup{4, 4, true, 7},
+                      ParitySetup{2, 4, false, 3}),
+    [](const ::testing::TestParamInfo<ParitySetup>& info) {
+      const ParitySetup& p = info.param;
+      return "w" + std::to_string(p.workers) + "_t" +
+             std::to_string(p.num_tasks) + (p.async ? "_async" : "_sync") +
+             "_b" + std::to_string(p.buffer_records);
+    });
+
+TEST(ImrCore, MatchesMapReduceBaselineBitwise) {
+  // SSSP min() is order-insensitive: baseline and iMapReduce agree exactly.
+  auto cluster = testutil::free_cluster(4, 4, 4);
+  Graph g = make_sssp_graph("dblp", 0.002, 5);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterativeDriver driver(*cluster);
+  driver.run(Sssp::baseline("sssp", "work", 6));
+  auto mr = Sssp::read_result_mr(*cluster, driver.final_output(),
+                                 g.num_nodes());
+
+  IterativeEngine engine(*cluster);
+  engine.run(Sssp::imapreduce("sssp", "out", 6));
+  auto imr = Sssp::read_result_imr(*cluster, "out", g.num_nodes());
+  EXPECT_EQ(mr, imr);
+}
+
+TEST(ImrCore, RepeatedRunsAreDeterministic) {
+  auto ref = [] {
+    auto cluster = testutil::free_cluster(4, 4, 4);
+    Graph g = make_pagerank_graph("berkstan", 0.0005, 9);
+    PageRank::setup(*cluster, g, "pr");
+    IterativeEngine engine(*cluster);
+    engine.run(PageRank::imapreduce("pr", "out", g.num_nodes(), 4));
+    return PageRank::read_result_imr(*cluster, "out", g.num_nodes());
+  };
+  auto first = ref();
+  for (int i = 0; i < 3; ++i) {
+    auto again = ref();
+    EXPECT_EQ(first, again) << "run " << i;  // bitwise identical
+  }
+}
+
+TEST(ImrCore, ThresholdTerminationStopsEarly) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec gspec;
+  gspec.num_nodes = 150;
+  gspec.seed = 2;
+  Graph g = generate_lognormal_graph(gspec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  // Count-changed distance < 0.5 means a fixpoint; the graph converges well
+  // before 50 iterations.
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 50, 0.5);
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.iterations_run, 50);
+
+  auto expected = Sssp::reference(g, 0, -1);
+  expect_near_vectors(expected,
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      1e-12);
+}
+
+TEST(ImrCore, MaxIterTerminationReportsNotConverged) {
+  auto cluster = testutil::free_cluster();
+  Graph g = make_pagerank_graph("google", 0.0002, 3);
+  PageRank::setup(*cluster, g, "pr");
+  IterJobConf conf = PageRank::imapreduce("pr", "out", g.num_nodes(), 3);
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  EXPECT_EQ(report.iterations_run, 3);
+  EXPECT_FALSE(report.converged);
+}
+
+TEST(ImrCore, DistancesDecreaseForPageRank) {
+  auto cluster = testutil::free_cluster();
+  Graph g = make_pagerank_graph("google", 0.0005, 4);
+  PageRank::setup(*cluster, g, "pr");
+  IterJobConf conf = PageRank::imapreduce("pr", "out", g.num_nodes(), 6);
+  IterativeEngine engine(*cluster);
+  RunReport report = engine.run(conf);
+  ASSERT_EQ(report.iterations.size(), 6u);
+  // Manhattan distance between consecutive rank vectors shrinks (power
+  // iteration contraction); allow the first pair to be anything.
+  for (std::size_t i = 2; i < report.iterations.size(); ++i) {
+    EXPECT_LT(report.iterations[i].distance, report.iterations[i - 1].distance);
+  }
+}
+
+TEST(ImrCore, StaticDataNeverShuffledOne2One) {
+  auto cluster = testutil::costed_cluster();
+  Graph g = make_sssp_graph("dblp", 0.002, 5);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  cluster->metrics().reset();
+
+  IterativeEngine engine(*cluster);
+  engine.run(Sssp::imapreduce("sssp", "out", 5));
+
+  // Shuffle carries only state-derived records: with ~5 edges/node and 8-byte
+  // distances, shuffled bytes per iteration must stay well below the static
+  // (adjacency) size per iteration that the baseline would move.
+  int64_t shuffle = cluster->metrics().traffic_bytes(TrafficCategory::kShuffle);
+  auto static_bytes =
+      static_cast<int64_t>(cluster->dfs().file_bytes("sssp/static"));
+  // The static file is read from DFS exactly once in total (5 iterations).
+  int64_t dfs_read = cluster->metrics().traffic_bytes(TrafficCategory::kDfsRead);
+  EXPECT_LT(dfs_read, 2 * static_bytes + 100000);
+  EXPECT_GT(shuffle, 0);
+}
+
+TEST(ImrCore, RejectsInvalidConfigs) {
+  auto cluster = testutil::free_cluster();
+  IterativeEngine engine(*cluster);
+
+  IterJobConf empty;
+  EXPECT_THROW(engine.run(empty), ConfigError);
+
+  Graph g = make_sssp_graph("dblp", 0.001, 5);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterJobConf too_many = Sssp::imapreduce("sssp", "out", 2);
+  too_many.num_tasks = 1000;
+  EXPECT_THROW(engine.run(too_many), ConfigError);
+
+  IterJobConf bad_balance = Sssp::imapreduce("sssp", "out", 2);
+  bad_balance.load_balancing = true;  // requires checkpointing
+  EXPECT_THROW(engine.run(bad_balance), ConfigError);
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,190 @@
+// Protocol-level engine tests: sequential jobs, endpoint hygiene, counters,
+// rollback determinism under adversarial buffer sizes, and PageRank mass
+// conservation through the full distributed pipeline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using testutil::expect_near_vectors;
+
+TEST(ImrProtocol, SequentialJobsOnOneClusterDoNotInterfere) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 200;
+  spec.seed = 41;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeEngine engine(*cluster);
+
+  auto first = [&] {
+    engine.run(Sssp::imapreduce("sssp", "out1", 4));
+    return Sssp::read_result_imr(*cluster, "out1", g.num_nodes());
+  }();
+  for (int round = 0; round < 3; ++round) {
+    engine.run(Sssp::imapreduce("sssp", "out2", 4));
+    EXPECT_EQ(Sssp::read_result_imr(*cluster, "out2", g.num_nodes()), first);
+  }
+}
+
+TEST(ImrProtocol, PersistentTaskCountersMatchConfiguration) {
+  auto cluster = testutil::free_cluster(4, 4, 4);
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 100;
+  spec.seed = 43;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 5);
+  conf.num_tasks = 6;
+  IterativeEngine engine(*cluster);
+  engine.run(conf);
+  // Persistent tasks are created once, regardless of iteration count.
+  EXPECT_EQ(cluster->metrics().count("imr_persistent_map_tasks"), 6);
+  EXPECT_EQ(cluster->metrics().count("imr_persistent_reduce_tasks"), 6);
+  EXPECT_EQ(cluster->metrics().count("imr_iterations"), 5);
+}
+
+TEST(ImrProtocol, OutputPartFilesCoverKeySpaceDisjointly) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 500;
+  spec.seed = 47;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  conf.num_tasks = 4;
+  IterativeEngine engine(*cluster);
+  engine.run(conf);
+
+  auto parts = cluster->dfs().list("out/");
+  EXPECT_EQ(parts.size(), 4u);  // one per pair
+  std::set<uint32_t> seen;
+  for (const auto& part : parts) {
+    for (const KV& kv : cluster->dfs().read_all(part, -1, nullptr)) {
+      EXPECT_TRUE(seen.insert(as_u32(kv.key)).second)
+          << "key duplicated across part files";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(ImrProtocol, PageRankMassConservedThroughPipeline) {
+  // Every node has out-degree >= 1 in a ring-augmented graph, so total rank
+  // must stay exactly 1 through the distributed pipeline.
+  Graph g;
+  g.adj.resize(64);
+  Rng rng(51);
+  for (uint32_t u = 0; u < 64; ++u) {
+    g.adj[u].push_back(WEdge{(u + 1) % 64, 1.0});
+    if (rng.uniform(2) == 0) {
+      g.adj[u].push_back(WEdge{static_cast<uint32_t>(rng.uniform(64)), 1.0});
+    }
+  }
+  auto cluster = testutil::free_cluster();
+  PageRank::setup(*cluster, g, "pr");
+  IterativeEngine engine(*cluster);
+  engine.run(PageRank::imapreduce("pr", "out", 64, 8));
+  auto ranks = PageRank::read_result_imr(*cluster, "out", 64);
+  double total = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ImrProtocol, RollbackDeterministicUnderTinyBuffers) {
+  // Failure + recovery with buffer_records = 1 maximizes message interleaving
+  // and future-iteration stashing; the result must still be exact.
+  auto cluster = testutil::free_cluster(4, 4, 4);
+  Graph g = make_sssp_graph("dblp", 0.002, 53);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 8);
+  conf.buffer_records = 1;
+  conf.checkpoint_every = 3;
+  cluster->schedule_worker_failure(2, 5);
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(conf);
+  EXPECT_EQ(r.iterations_run, 8);
+  expect_near_vectors(Sssp::reference(g, 0, 8),
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      1e-12);
+}
+
+TEST(ImrProtocol, UnreachableNodesStayInfinite) {
+  // Node cluster {5,6,7} unreachable from 0.
+  Graph g;
+  g.weighted = true;
+  g.adj.resize(8);
+  g.adj[0] = {{1, 1.0}, {2, 1.0}};
+  g.adj[1] = {{3, 1.0}};
+  g.adj[2] = {{4, 1.0}};
+  g.adj[5] = {{6, 1.0}};
+  g.adj[6] = {{7, 1.0}};
+  auto cluster = testutil::free_cluster();
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeEngine engine(*cluster);
+  engine.run(Sssp::imapreduce("sssp", "out", 5));
+  auto d = Sssp::read_result_imr(*cluster, "out", 8);
+  EXPECT_TRUE(std::isinf(d[5]));
+  EXPECT_TRUE(std::isinf(d[6]));
+  EXPECT_TRUE(std::isinf(d[7]));
+  EXPECT_EQ(d[3], 2.0);
+}
+
+TEST(ImrProtocol, UserExceptionInMapperSurfaces) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 50;
+  spec.seed = 59;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  conf.phases[0].mapper = make_iter_mapper(
+      [](const Bytes&, const Bytes&, const Bytes&, IterEmitter&) {
+        throw Error("mapper bug");
+      });
+  IterativeEngine engine(*cluster);
+  EXPECT_THROW(engine.run(conf), Error);
+}
+
+TEST(ImrProtocol, UserExceptionInReducerSurfaces) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 50;
+  spec.seed = 61;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  conf.phases[0].reducer = make_iter_reducer(
+      [](const Bytes&, const std::vector<Bytes>&, IterEmitter&) {
+        throw Error("reducer bug");
+      });
+  IterativeEngine engine(*cluster);
+  EXPECT_THROW(engine.run(conf), Error);
+}
+
+TEST(ImrProtocol, MissingStatePathFailsFast) {
+  auto cluster = testutil::free_cluster();
+  IterJobConf conf;
+  conf.name = "broken";
+  conf.state_path = "does/not/exist";
+  conf.output_path = "out";
+  PhaseConf phase;
+  phase.mapper = make_iter_mapper(
+      [](const Bytes&, const Bytes&, const Bytes&, IterEmitter&) {});
+  phase.reducer = make_iter_reducer(
+      [](const Bytes&, const std::vector<Bytes>&, IterEmitter&) {});
+  conf.phases.push_back(std::move(phase));
+  IterativeEngine engine(*cluster);
+  EXPECT_THROW(engine.run(conf), DfsError);
+}
+
+}  // namespace
+}  // namespace imr

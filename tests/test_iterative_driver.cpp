@@ -1,0 +1,141 @@
+// Iterative chain-of-jobs driver tests: chaining, convergence-check jobs,
+// cache feeding, multi-stage iterations, and init accounting.
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "mapreduce/iterative_driver.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using testutil::expect_near_vectors;
+
+Graph test_graph(uint32_t n, uint64_t seed) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = n;
+  spec.seed = seed;
+  return generate_lognormal_graph(spec);
+}
+
+TEST(IterativeDriver, FixedIterationsRunExactly) {
+  auto cluster = testutil::free_cluster();
+  Graph g = test_graph(150, 1);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeDriver driver(*cluster);
+  RunReport r = driver.run(Sssp::baseline("sssp", "work", 7));
+  EXPECT_EQ(r.iterations_run, 7);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations.size(), 7u);
+}
+
+TEST(IterativeDriver, ConvergenceCheckStopsEarly) {
+  auto cluster = testutil::free_cluster();
+  Graph g = test_graph(120, 2);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeDriver driver(*cluster);
+  RunReport r = driver.run(Sssp::baseline("sssp", "work", 60, 0.5));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations_run, 60);
+  auto result =
+      Sssp::read_result_mr(*cluster, driver.final_output(), g.num_nodes());
+  expect_near_vectors(Sssp::reference(g, 0, -1), result, 1e-12);
+}
+
+TEST(IterativeDriver, CheckJobAddsJobsAndInitTime) {
+  auto cluster = testutil::costed_cluster();
+  Graph g = test_graph(100, 3);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeDriver driver(*cluster);
+
+  cluster->metrics().reset();
+  RunReport plain = driver.run(Sssp::baseline("sssp", "w1", 3));
+  int64_t plain_jobs = cluster->metrics().count("jobs_submitted");
+
+  cluster->metrics().reset();
+  RunReport checked = driver.run(Sssp::baseline("sssp", "w2", 3, 0.0));
+  int64_t checked_jobs = cluster->metrics().count("jobs_submitted");
+
+  EXPECT_EQ(plain_jobs, 3);
+  EXPECT_EQ(checked_jobs, 6);  // one extra check job per iteration
+  EXPECT_GT(checked.init_wall_ms, plain.init_wall_ms);
+  EXPECT_GT(checked.total_wall_ms, plain.total_wall_ms);
+}
+
+TEST(IterativeDriver, PerIterationInitMatchesAnalyticCost) {
+  auto cluster = testutil::costed_cluster();
+  Graph g = test_graph(80, 4);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeDriver driver(*cluster);
+  RunReport r = driver.run(Sssp::baseline("sssp", "work", 2));
+  const CostModel& cost = cluster->cost();
+  double expected_ms =
+      sim_to_ms(cost.job_init + cost.task_init + cost.job_cleanup);
+  for (const auto& it : r.iterations) {
+    EXPECT_DOUBLE_EQ(it.init_ms, expected_ms);
+  }
+  EXPECT_DOUBLE_EQ(r.init_wall_ms, 2 * expected_ms);
+}
+
+TEST(IterativeDriver, GcKeepsOnlyRecentOutputs) {
+  auto cluster = testutil::free_cluster();
+  Graph g = test_graph(60, 5);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeDriver driver(*cluster);
+  driver.run(Sssp::baseline("sssp", "work", 6));
+  EXPECT_TRUE(cluster->dfs().list("work/iter1/").empty());
+  EXPECT_TRUE(cluster->dfs().list("work/iter4/").empty());
+  EXPECT_FALSE(cluster->dfs().list("work/iter5/").empty());
+  EXPECT_FALSE(cluster->dfs().list("work/iter6/").empty());
+}
+
+TEST(IterativeDriver, GcDisabledKeepsEverything) {
+  auto cluster = testutil::free_cluster();
+  Graph g = test_graph(60, 5);
+  Sssp::setup(*cluster, g, 0, "sssp");
+  IterativeSpec spec = Sssp::baseline("sssp", "work", 4);
+  spec.gc_intermediate = false;
+  IterativeDriver driver(*cluster);
+  driver.run(spec);
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_FALSE(
+        cluster->dfs().list("work/iter" + std::to_string(k) + "/").empty())
+        << k;
+  }
+}
+
+TEST(IterativeDriver, WallClockIsMonotoneAcrossIterations) {
+  auto cluster = testutil::costed_cluster();
+  Graph g = test_graph(100, 6);
+  PageRank::setup(*cluster, g, "pr");
+  IterativeDriver driver(*cluster);
+  RunReport r =
+      driver.run(PageRank::baseline("pr", "work", g.num_nodes(), 5));
+  double prev = 0;
+  for (const auto& it : r.iterations) {
+    EXPECT_GT(it.wall_ms_end, prev);
+    prev = it.wall_ms_end;
+  }
+  EXPECT_DOUBLE_EQ(r.total_wall_ms, r.iterations.back().wall_ms_end);
+}
+
+TEST(IterativeDriver, RejectsIncompleteSpecs) {
+  auto cluster = testutil::free_cluster();
+  IterativeDriver driver(*cluster);
+  IterativeSpec empty;
+  EXPECT_THROW(driver.run(empty), Error);
+
+  IterativeSpec no_distance;
+  no_distance.initial_input = "x";
+  no_distance.work_dir = "w";
+  no_distance.set_body(
+      make_mapper([](const Bytes&, const Bytes&, Emitter&) {}),
+      make_reducer([](const Bytes&, const std::vector<Bytes>&, Emitter&) {}));
+  no_distance.distance_threshold = 0.5;  // but no distance fn
+  EXPECT_THROW(driver.run(no_distance), Error);
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,252 @@
+// Classic MapReduce engine tests: wordcount, combiner, multiple inputs,
+// distributed cache, determinism, slot limits, and timing structure.
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "common/strings.h"
+#include "mapreduce/engine.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+// Text records: key = line id, value = space-separated words.
+KVVec text_records(const std::vector<std::string>& lines) {
+  KVVec recs;
+  for (uint32_t i = 0; i < lines.size(); ++i) {
+    recs.emplace_back(u32_key(i), lines[i]);
+  }
+  return recs;
+}
+
+MapperFactory word_splitter() {
+  return make_mapper([](const Bytes&, const Bytes& value, Emitter& out) {
+    for (const std::string& w : split(std::string(value), ' ')) {
+      if (!w.empty()) out.emit(w, u64_key(1));
+    }
+  });
+}
+
+ReducerFactory count_summer() {
+  return make_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, Emitter& out) {
+        uint64_t n = 0;
+        for (const Bytes& v : values) n += as_u64(v);
+        out.emit(key, u64_key(n));
+      });
+}
+
+std::map<std::string, uint64_t> read_counts(Cluster& cluster,
+                                            const std::string& out) {
+  std::map<std::string, uint64_t> counts;
+  for (const auto& part : resolve_input_paths(cluster.dfs(), out)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      counts[std::string(kv.key)] = as_u64(kv.value);
+    }
+  }
+  return counts;
+}
+
+TEST(MapReduce, WordCount) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file(
+      "in", text_records({"a b a", "b c", "a c c c"}), 0, nullptr);
+  JobConf job;
+  job.set_input("in", word_splitter());
+  job.output_path = "out";
+  job.reducer = count_summer();
+  MapReduceEngine engine(*cluster);
+  JobResult res = engine.run_job(job);
+
+  auto counts = read_counts(*cluster, "out");
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 4u);
+  EXPECT_EQ(res.map_input_records, 3);
+  EXPECT_EQ(res.map_output_records, 9);
+  EXPECT_EQ(res.reduce_input_groups, 3);
+  EXPECT_EQ(res.reduce_output_records, 3);
+}
+
+TEST(MapReduce, CombinerReducesShuffleRecordsNotResults) {
+  auto cluster = testutil::free_cluster();
+  std::vector<std::string> lines(50, "x x x y");
+  cluster->dfs().write_file("in", text_records(lines), 0, nullptr);
+
+  auto run = [&](bool with_combiner, const std::string& out) {
+    cluster->metrics().reset();
+    JobConf job;
+    job.set_input("in", word_splitter());
+    job.output_path = out;
+    job.reducer = count_summer();
+    if (with_combiner) job.combiner = count_summer();
+    MapReduceEngine engine(*cluster);
+    engine.run_job(job);
+    return cluster->metrics().traffic_bytes(TrafficCategory::kShuffle);
+  };
+
+  int64_t plain = run(false, "out1");
+  int64_t combined = run(true, "out2");
+  EXPECT_LT(combined, plain);
+  EXPECT_EQ(read_counts(*cluster, "out1"), read_counts(*cluster, "out2"));
+}
+
+TEST(MapReduce, MultipleInputs) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file("in1", text_records({"a a"}), 0, nullptr);
+  cluster->dfs().write_file("in2", text_records({"a b"}), 0, nullptr);
+  JobConf job;
+  job.inputs.push_back(InputSpec{"in1", word_splitter()});
+  job.inputs.push_back(InputSpec{"in2", word_splitter()});
+  job.output_path = "out";
+  job.reducer = count_summer();
+  MapReduceEngine engine(*cluster);
+  engine.run_job(job);
+  auto counts = read_counts(*cluster, "out");
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 1u);
+}
+
+TEST(MapReduce, DirectoryInputReadsAllParts) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file("dir/part-0", text_records({"a"}), 0, nullptr);
+  cluster->dfs().write_file("dir/part-1", text_records({"a b"}), 0, nullptr);
+  JobConf job;
+  job.set_input("dir", word_splitter());
+  job.output_path = "out";
+  job.reducer = count_summer();
+  MapReduceEngine engine(*cluster);
+  engine.run_job(job);
+  auto counts = read_counts(*cluster, "out");
+  EXPECT_EQ(counts["a"], 2u);
+  EXPECT_EQ(counts["b"], 1u);
+}
+
+TEST(MapReduce, DistributedCacheReachesEveryMapTask) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file("in", text_records({"a", "b", "c", "d"}), 0,
+                            nullptr);
+  KVVec cache;
+  cache.emplace_back("prefix", "Z_");
+  cluster->dfs().write_file("cache", std::move(cache), 0, nullptr);
+
+  class PrefixMapper : public Mapper {
+   public:
+    void attach_cache(const KVVec& records) override {
+      ASSERT_EQ(records.size(), 1u);
+      prefix_ = records[0].value;
+    }
+    void map(const Bytes&, const Bytes& value, Emitter& out) override {
+      out.emit(prefix_ + value, u64_key(1));
+    }
+
+   private:
+    Bytes prefix_;
+  };
+
+  JobConf job;
+  job.set_input("in", [] { return std::make_unique<PrefixMapper>(); });
+  job.cache_path = "cache";
+  job.output_path = "out";
+  job.reducer = count_summer();
+  job.num_map_tasks = 4;
+  MapReduceEngine engine(*cluster);
+  engine.run_job(job);
+  auto counts = read_counts(*cluster, "out");
+  EXPECT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts.count("Z_a"), 1u);
+}
+
+TEST(MapReduce, DeterministicAcrossTaskCounts) {
+  // The same job must produce identical output regardless of parallelism.
+  std::map<std::string, uint64_t> first;
+  for (int maps : {1, 2, 5}) {
+    for (int reduces : {1, 3}) {
+      auto cluster = testutil::free_cluster(4, 4, 4);
+      std::vector<std::string> lines;
+      for (int i = 0; i < 100; ++i) {
+        lines.push_back("w" + std::to_string(i % 17) + " w" +
+                        std::to_string(i % 5));
+      }
+      cluster->dfs().write_file("in", text_records(lines), 0, nullptr);
+      JobConf job;
+      job.set_input("in", word_splitter());
+      job.output_path = "out";
+      job.reducer = count_summer();
+      job.num_map_tasks = maps;
+      job.num_reduce_tasks = reduces;
+      MapReduceEngine engine(*cluster);
+      engine.run_job(job);
+      auto counts = read_counts(*cluster, "out");
+      if (first.empty()) {
+        first = counts;
+      } else {
+        EXPECT_EQ(counts, first) << maps << " maps, " << reduces << " reduces";
+      }
+    }
+  }
+}
+
+TEST(MapReduce, RejectsBadConfigs) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file("in", text_records({"a"}), 0, nullptr);
+  MapReduceEngine engine(*cluster);
+
+  JobConf no_inputs;
+  no_inputs.output_path = "out";
+  no_inputs.reducer = count_summer();
+  EXPECT_THROW(engine.run_job(no_inputs), ConfigError);
+
+  JobConf no_reducer;
+  no_reducer.set_input("in", word_splitter());
+  no_reducer.output_path = "out";
+  EXPECT_THROW(engine.run_job(no_reducer), ConfigError);
+
+  JobConf too_many_tasks;
+  too_many_tasks.set_input("in", word_splitter());
+  too_many_tasks.output_path = "out";
+  too_many_tasks.reducer = count_summer();
+  too_many_tasks.num_map_tasks = 1000;  // 4 workers x 4 slots = 16
+  EXPECT_THROW(engine.run_job(too_many_tasks), ConfigError);
+}
+
+TEST(MapReduce, UserExceptionPropagates) {
+  auto cluster = testutil::free_cluster();
+  cluster->dfs().write_file("in", text_records({"a"}), 0, nullptr);
+  JobConf job;
+  job.set_input("in", make_mapper([](const Bytes&, const Bytes&, Emitter&) {
+                  throw Error("user bug");
+                }));
+  job.output_path = "out";
+  job.reducer = count_summer();
+  MapReduceEngine engine(*cluster);
+  EXPECT_THROW(engine.run_job(job), Error);
+}
+
+TEST(MapReduce, VirtualTimingStructure) {
+  auto cluster = testutil::costed_cluster();
+  cluster->dfs().write_file("in", text_records({"a b c", "d e f"}), 0,
+                            nullptr);
+  JobConf job;
+  job.set_input("in", word_splitter());
+  job.output_path = "out";
+  job.reducer = count_summer();
+  MapReduceEngine engine(*cluster);
+
+  JobResult r1 = engine.run_job(job, /*submit_vt_ns=*/0);
+  const CostModel& cost = cluster->cost();
+  // A job can never beat init + cleanup.
+  EXPECT_GT(r1.end_vt_ns,
+            (cost.job_init + cost.task_init + cost.job_cleanup).count());
+  // Chaining: the second job starts where the first ended.
+  job.output_path = "out2";
+  JobResult r2 = engine.run_job(job, r1.end_vt_ns);
+  EXPECT_GT(r2.end_vt_ns, r1.end_vt_ns);
+  EXPECT_EQ(r2.submit_vt_ns, r1.end_vt_ns);
+  // Init is charged into metrics.
+  EXPECT_GE(cluster->metrics().time(TimeCategory::kJobInit).count(),
+            2 * cost.job_init.count());
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,100 @@
+// Metrics registry and text-table tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "metrics/metrics.h"
+#include "metrics/table.h"
+
+namespace imr {
+namespace {
+
+TEST(Metrics, TrafficByCategory) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kShuffle, 100, true);
+  m.add_traffic(TrafficCategory::kShuffle, 50, false);
+  m.add_traffic(TrafficCategory::kDfsRead, 10, true);
+  EXPECT_EQ(m.traffic_bytes(TrafficCategory::kShuffle), 150);
+  EXPECT_EQ(m.traffic_remote_bytes(TrafficCategory::kShuffle), 100);
+  EXPECT_EQ(m.traffic_transfers(TrafficCategory::kShuffle), 2);
+  EXPECT_EQ(m.total_remote_bytes(), 110);
+  EXPECT_EQ(m.total_bytes(), 160);
+}
+
+TEST(Metrics, TimesAccumulate) {
+  MetricsRegistry m;
+  m.add_time(TimeCategory::kJobInit, sim_ms(5));
+  m.add_time(TimeCategory::kJobInit, sim_ms(3));
+  EXPECT_EQ(m.time(TimeCategory::kJobInit), sim_ms(8));
+}
+
+TEST(Metrics, NamedCountersThreadSafe) {
+  MetricsRegistry m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < 1000; ++i) m.inc("events");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.count("events"), 4000);
+  EXPECT_EQ(m.count("missing"), 0);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kShuffle, 100, true);
+  m.add_time(TimeCategory::kCompute, sim_ms(1));
+  m.inc("x");
+  m.reset();
+  EXPECT_EQ(m.total_bytes(), 0);
+  EXPECT_EQ(m.time(TimeCategory::kCompute).count(), 0);
+  EXPECT_EQ(m.count("x"), 0);
+}
+
+TEST(Metrics, ReportMentionsActiveCategories) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kBroadcast, 100, true);
+  m.inc("imr_iterations", 7);
+  std::string report = m.report();
+  EXPECT_NE(report.find("broadcast"), std::string::npos);
+  EXPECT_NE(report.find("imr_iterations"), std::string::npos);
+  EXPECT_EQ(report.find("checkpoint"), std::string::npos);
+}
+
+TEST(RunReportCapture, PullsTotalsFromRegistry) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kShuffle, 500, true);
+  m.add_traffic(TrafficCategory::kDfsRead, 200, false);
+  m.add_time(TimeCategory::kJobInit, sim_ms(12));
+  RunReport r;
+  r.capture(m);
+  EXPECT_EQ(r.shuffle_bytes, 500);
+  EXPECT_EQ(r.dfs_read_bytes, 200);
+  EXPECT_EQ(r.total_comm_bytes, 500);
+  EXPECT_EQ(r.job_init_time, sim_ms(12));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace imr

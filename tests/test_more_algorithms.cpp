@@ -1,0 +1,199 @@
+// Connected components and logistic regression through the full stack.
+#include <gtest/gtest.h>
+
+#include "algorithms/concomp.h"
+#include "algorithms/logreg.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+// --- connected components ---
+
+Graph components_graph() {
+  // Three components: {0..3} chain, {4,5}, {6} isolated, plus a random blob.
+  Graph g;
+  g.weighted = false;
+  g.adj.resize(12);
+  g.adj[0] = {{1, 1}};
+  g.adj[1] = {{2, 1}};
+  g.adj[2] = {{3, 1}};
+  g.adj[4] = {{5, 1}};
+  g.adj[7] = {{8, 1}, {9, 1}};
+  g.adj[9] = {{10, 1}, {11, 1}};
+  return g;
+}
+
+TEST(ConCompUnit, UnionFindReference) {
+  Graph g = components_graph();
+  auto label = ConComp::reference(g);
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[3], 0u);
+  EXPECT_EQ(label[4], 4u);
+  EXPECT_EQ(label[5], 4u);
+  EXPECT_EQ(label[6], 6u);
+  EXPECT_EQ(label[11], 7u);
+}
+
+TEST(ConCompUnit, RoundsReferenceConvergesToUnionFind) {
+  Graph g = make_sssp_graph("dblp", 0.001, 71);
+  auto fix = ConComp::reference(g);
+  auto rounds = ConComp::reference_rounds(g, static_cast<int>(g.num_nodes()));
+  EXPECT_EQ(fix, rounds);
+}
+
+TEST(ConComp, ImrMatchesRoundsReference) {
+  auto cluster = testutil::free_cluster();
+  Graph g = make_sssp_graph("dblp", 0.002, 73);
+  ConComp::setup(*cluster, g, "cc");
+  IterativeEngine engine(*cluster);
+  engine.run(ConComp::imapreduce("cc", "out", 4));
+  EXPECT_EQ(ConComp::read_result_imr(*cluster, "out", g.num_nodes()),
+            ConComp::reference_rounds(g, 4));
+}
+
+TEST(ConComp, ImrConvergesToExactComponents) {
+  auto cluster = testutil::free_cluster();
+  Graph g = components_graph();
+  ConComp::setup(*cluster, g, "cc");
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(ConComp::imapreduce("cc", "out", 50, 0.5));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(ConComp::read_result_imr(*cluster, "out", g.num_nodes()),
+            ConComp::reference(g));
+}
+
+TEST(ConComp, BaselineMatchesImr) {
+  auto cluster = testutil::free_cluster();
+  Graph g = make_sssp_graph("dblp", 0.001, 79);
+  ConComp::setup(*cluster, g, "cc");
+
+  IterativeDriver driver(*cluster);
+  driver.run(ConComp::baseline("cc", "work", 5));
+  auto mr = ConComp::read_result_mr(*cluster, driver.final_output(),
+                                    g.num_nodes());
+
+  IterativeEngine engine(*cluster);
+  engine.run(ConComp::imapreduce("cc", "out", 5));
+  EXPECT_EQ(mr, ConComp::read_result_imr(*cluster, "out", g.num_nodes()));
+}
+
+// --- logistic regression ---
+
+TEST(LogRegUnit, GenerateIsDeterministicAndBalancedish) {
+  LogRegDataSpec spec;
+  spec.num_samples = 1000;
+  auto a = LogReg::generate(spec);
+  auto b = LogReg::generate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  int positives = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].x, b[i].x);
+    if (a[i].label > 0) ++positives;
+  }
+  EXPECT_GT(positives, 350);
+  EXPECT_LT(positives, 650);
+}
+
+TEST(LogRegUnit, ReferenceLearnsSeparableData) {
+  LogRegDataSpec spec;
+  spec.num_samples = 2000;
+  spec.separation = 4.0;
+  auto data = LogReg::generate(spec);
+  auto w = LogReg::reference(data, spec.dim, 50, 0.5);
+  EXPECT_GT(LogReg::accuracy(data, w), 0.95);
+}
+
+TEST(LogReg, ImrMatchesReference) {
+  auto cluster = testutil::free_cluster();
+  LogRegDataSpec spec;
+  spec.num_samples = 1500;
+  spec.dim = 5;
+  auto data = LogReg::generate(spec);
+  LogReg::setup(*cluster, data, spec.dim, "lr");
+
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(LogReg::imapreduce("lr", "out", spec.dim, 8, 0.5));
+  EXPECT_EQ(r.iterations_run, 8);
+
+  auto w = LogReg::read_result(*cluster, "out");
+  auto expected = LogReg::reference(data, spec.dim, 8, 0.5);
+  ASSERT_EQ(w.size(), expected.size());
+  for (std::size_t d = 0; d < w.size(); ++d) {
+    EXPECT_NEAR(w[d], expected[d], 1e-9) << d;
+  }
+}
+
+TEST(LogReg, BaselineMatchesImr) {
+  auto cluster = testutil::free_cluster();
+  LogRegDataSpec spec;
+  spec.num_samples = 1000;
+  spec.dim = 4;
+  auto data = LogReg::generate(spec);
+  LogReg::setup(*cluster, data, spec.dim, "lr");
+
+  IterativeDriver driver(*cluster);
+  driver.run(LogReg::baseline("lr", "work", spec.dim, 6, 0.5));
+  auto mr = LogReg::read_result(*cluster, driver.final_output());
+
+  IterativeEngine engine(*cluster);
+  engine.run(LogReg::imapreduce("lr", "out", spec.dim, 6, 0.5));
+  auto imr = LogReg::read_result(*cluster, "out");
+
+  ASSERT_EQ(mr.size(), imr.size());
+  for (std::size_t d = 0; d < mr.size(); ++d) {
+    EXPECT_NEAR(mr[d], imr[d], 1e-9);
+  }
+}
+
+TEST(LogReg, ThresholdTerminationOnConvergedWeights) {
+  auto cluster = testutil::free_cluster();
+  LogRegDataSpec spec;
+  spec.num_samples = 800;
+  spec.dim = 3;
+  // Overlapping classes: a separable problem has no finite optimum (weights
+  // grow forever) and would never meet a weight-movement threshold.
+  spec.separation = 1.5;
+  auto data = LogReg::generate(spec);
+  LogReg::setup(*cluster, data, spec.dim, "lr");
+
+  IterativeEngine engine(*cluster);
+  RunReport r =
+      engine.run(LogReg::imapreduce("lr", "out", spec.dim, 500, 0.5, 5e-3));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations_run, 500);
+  auto w = LogReg::read_result(*cluster, "out");
+  EXPECT_GT(LogReg::accuracy(data, w), 0.7);
+}
+
+TEST(LogReg, WorksAcrossTaskCounts) {
+  LogRegDataSpec spec;
+  spec.num_samples = 600;
+  spec.dim = 4;
+  auto data = LogReg::generate(spec);
+  std::vector<double> first;
+  for (int tasks : {1, 3, 8}) {
+    auto cluster = testutil::free_cluster(4, 4, 4);
+    LogReg::setup(*cluster, data, spec.dim, "lr");
+    IterJobConf conf = LogReg::imapreduce("lr", "out", spec.dim, 5, 0.5);
+    conf.num_tasks = tasks;
+    IterativeEngine engine(*cluster);
+    engine.run(conf);
+    auto w = LogReg::read_result(*cluster, "out");
+    if (first.empty()) {
+      first = w;
+    } else {
+      ASSERT_EQ(w.size(), first.size());
+      for (std::size_t d = 0; d < w.size(); ++d) {
+        EXPECT_NEAR(w[d], first[d], 1e-9) << "tasks=" << tasks;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imr

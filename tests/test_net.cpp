@@ -1,0 +1,142 @@
+// Fabric tests: delivery, virtual-time stamping, local vs remote costing,
+// broadcast, and traffic conservation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+NetMessage data_msg(KVVec records) {
+  NetMessage m;
+  m.kind = NetMessage::Kind::kData;
+  m.records = std::move(records);
+  return m;
+}
+
+TEST(Fabric, DeliversInOrder) {
+  auto cluster = testutil::free_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  VClock sender;
+  for (int i = 0; i < 5; ++i) {
+    NetMessage m = data_msg({});
+    m.iteration = i;
+    cluster->fabric().send(1, sender, *ep, std::move(m),
+                           TrafficCategory::kShuffle);
+  }
+  VClock recv;
+  for (int i = 0; i < 5; ++i) {
+    auto m = ep->receive(recv);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->iteration, i);
+  }
+}
+
+TEST(Fabric, RemoteSendAdvancesSenderAndStampsArrival) {
+  auto cluster = testutil::costed_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  VClock sender;
+  KVVec payload;
+  payload.emplace_back(Bytes(100, 'k'), Bytes(100000, 'v'));
+  cluster->fabric().send(1, sender, *ep, data_msg(std::move(payload)),
+                         TrafficCategory::kShuffle);
+  EXPECT_GT(sender.now_ns(), 0);  // serialization charged to sender
+
+  VClock recv;
+  auto m = ep->receive(recv);
+  ASSERT_TRUE(m.has_value());
+  // Arrival = sender finish + latency.
+  EXPECT_GT(m->vt_ready, sender.now_ns());
+  EXPECT_EQ(recv.now_ns(), m->vt_ready);
+}
+
+TEST(Fabric, LocalSendCheaperThanRemote) {
+  auto cluster = testutil::costed_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  KVVec payload;
+  payload.emplace_back(Bytes(8, 'k'), Bytes(100000, 'v'));
+
+  VClock local_sender;
+  cluster->fabric().send(0, local_sender, *ep, data_msg(payload),
+                         TrafficCategory::kReduceToMap);
+  VClock remote_sender;
+  cluster->fabric().send(1, remote_sender, *ep, data_msg(payload),
+                         TrafficCategory::kReduceToMap);
+  EXPECT_LT(local_sender.now_ns(), remote_sender.now_ns());
+
+  // Only the remote copy counts as remote traffic.
+  int64_t total = cluster->metrics().traffic_bytes(TrafficCategory::kReduceToMap);
+  int64_t remote =
+      cluster->metrics().traffic_remote_bytes(TrafficCategory::kReduceToMap);
+  EXPECT_GT(total, remote);
+  EXPECT_GT(remote, 100000);
+  EXPECT_LT(remote, 2 * 100000 + 1000);
+}
+
+TEST(Fabric, ReceiverClockNeverMovesBackwards) {
+  auto cluster = testutil::costed_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  VClock sender;
+  cluster->fabric().send(1, sender, *ep, data_msg({}),
+                         TrafficCategory::kControl);
+  VClock recv(int64_t{1} << 40);  // receiver already far in the future
+  auto m = ep->receive(recv);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(recv.now_ns(), int64_t{1} << 40);
+}
+
+TEST(Fabric, BroadcastChargesPerCopy) {
+  auto cluster = testutil::costed_cluster();
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  for (int i = 0; i < 4; ++i) {
+    eps.push_back(cluster->fabric().create_endpoint("b" + std::to_string(i),
+                                                    i % 2));
+  }
+  KVVec payload;
+  payload.emplace_back(Bytes(8, 'k'), Bytes(50000, 'v'));
+  VClock sender;
+  cluster->fabric().broadcast(0, sender, eps, data_msg(std::move(payload)),
+                              TrafficCategory::kBroadcast);
+  EXPECT_EQ(cluster->metrics().traffic_transfers(TrafficCategory::kBroadcast),
+            4);
+  for (auto& ep : eps) EXPECT_EQ(ep->pending(), 1u);
+}
+
+TEST(Fabric, FindAndRemove) {
+  auto cluster = testutil::free_cluster();
+  cluster->fabric().create_endpoint("x", 0);
+  EXPECT_NO_THROW(cluster->fabric().find("x"));
+  cluster->fabric().remove_endpoint("x");
+  EXPECT_THROW(cluster->fabric().find("x"), Error);
+}
+
+TEST(Fabric, CloseUnblocksReceiver) {
+  auto cluster = testutil::free_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  std::thread t([&] {
+    VClock c;
+    EXPECT_EQ(ep->receive(c), std::nullopt);
+  });
+  ep->close();
+  t.join();
+}
+
+TEST(Fabric, HomeWorkerMigration) {
+  auto cluster = testutil::costed_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  KVVec payload;
+  payload.emplace_back(Bytes(8, 'k'), Bytes(50000, 'v'));
+  VClock s1;
+  cluster->fabric().send(0, s1, *ep, data_msg(payload),
+                         TrafficCategory::kShuffle);  // local
+  ep->set_home_worker(2);
+  VClock s2;
+  cluster->fabric().send(0, s2, *ep, data_msg(payload),
+                         TrafficCategory::kShuffle);  // now remote
+  EXPECT_GT(s2.now_ns(), s1.now_ns());
+}
+
+}  // namespace
+}  // namespace imr

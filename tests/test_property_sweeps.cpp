@@ -1,0 +1,148 @@
+// Randomized property sweeps: for a matrix of (seed, workers, tasks, mode),
+// both engines must agree with the sequential references on every algorithm
+// family. These are the broad invariants the whole reproduction rests on.
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using testutil::expect_near_vectors;
+
+struct SweepCase {
+  uint64_t seed;
+  int workers;
+  int tasks;
+  bool async;
+};
+
+class RandomGraphSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RandomGraphSweep, SsspExactAcrossEngines) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 250;
+  spec.seed = c.seed;
+  Graph g = generate_lognormal_graph(spec);
+  uint32_t source = static_cast<uint32_t>(c.seed % g.num_nodes());
+  Sssp::setup(*cluster, g, source, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 5);
+  conf.num_tasks = c.tasks;
+  conf.async_maps = c.async;
+  IterativeEngine engine(*cluster);
+  engine.run(conf);
+
+  auto expected = Sssp::reference(g, source, 5);
+  expect_near_vectors(expected,
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      0.0);
+
+  IterativeDriver driver(*cluster);
+  driver.run(Sssp::baseline("sssp", "work", 5));
+  expect_near_vectors(
+      expected,
+      Sssp::read_result_mr(*cluster, driver.final_output(), g.num_nodes()),
+      0.0);
+}
+
+TEST_P(RandomGraphSweep, PageRankTightAcrossEngines) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 250;
+  spec.weighted = false;
+  spec.degree_mu = -0.5;
+  spec.degree_sigma = 2.0;
+  spec.seed = c.seed;
+  Graph g = generate_lognormal_graph(spec);
+  PageRank::setup(*cluster, g, "pr");
+
+  IterJobConf conf = PageRank::imapreduce("pr", "out", g.num_nodes(), 6);
+  conf.num_tasks = c.tasks;
+  conf.async_maps = c.async;
+  IterativeEngine engine(*cluster);
+  engine.run(conf);
+
+  auto expected = PageRank::reference(g, 6);
+  expect_near_vectors(
+      expected, PageRank::read_result_imr(*cluster, "out", g.num_nodes()),
+      1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RandomGraphSweep,
+    ::testing::Values(SweepCase{101, 2, 2, true}, SweepCase{202, 3, 4, true},
+                      SweepCase{303, 4, 7, false}, SweepCase{404, 5, 5, true},
+                      SweepCase{505, 2, 6, false}, SweepCase{606, 6, 6, true},
+                      SweepCase{707, 4, 1, true}, SweepCase{808, 3, 3, false}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      const SweepCase& c = info.param;
+      return "s" + std::to_string(c.seed) + "_w" + std::to_string(c.workers) +
+             "_t" + std::to_string(c.tasks) + (c.async ? "_async" : "_sync");
+    });
+
+// Traffic conservation across random configurations: every byte recorded as
+// remote is also recorded in the total, totals are monotone in iterations.
+TEST(PropertyTraffic, RemoteNeverExceedsTotalAndGrowsWithIterations) {
+  auto run_iters = [](int iters) {
+    auto cluster = testutil::costed_cluster(5, 2, 2);
+    LogNormalGraphSpec spec;
+    spec.num_nodes = 400;
+    spec.seed = 999;
+    Graph g = generate_lognormal_graph(spec);
+    Sssp::setup(*cluster, g, 0, "sssp");
+    cluster->metrics().reset();
+    IterativeEngine engine(*cluster);
+    engine.run(Sssp::imapreduce("sssp", "out", iters));
+    auto& m = cluster->metrics();
+    EXPECT_LE(m.total_remote_bytes(), m.total_bytes());
+    for (int cat = 0; cat < kNumTrafficCategories; ++cat) {
+      auto c = static_cast<TrafficCategory>(cat);
+      EXPECT_GE(m.traffic_bytes(c), m.traffic_remote_bytes(c));
+      EXPECT_GE(m.traffic_bytes(c), 0);
+    }
+    return m.total_bytes();
+  };
+  int64_t four = run_iters(4);
+  int64_t eight = run_iters(8);
+  EXPECT_GT(eight, four);
+}
+
+// PageRank's per-iteration shuffle volume is constant (every node emits to
+// every out-neighbor every iteration), so total shuffle bytes are linear in
+// the iteration count. (SSSP would NOT satisfy this: its volume grows as the
+// wavefront expands.)
+TEST(PropertyTraffic, PageRankShuffleLinearInIterations) {
+  auto shuffle_bytes = [](int iters) {
+    auto cluster = testutil::costed_cluster();
+    LogNormalGraphSpec spec;
+    spec.num_nodes = 300;
+    spec.weighted = false;
+    spec.seed = 1234;
+    Graph g = generate_lognormal_graph(spec);
+    PageRank::setup(*cluster, g, "pr");
+    cluster->metrics().reset();
+    IterativeEngine engine(*cluster);
+    IterJobConf conf = PageRank::imapreduce("pr", "out", g.num_nodes(), iters);
+    // Sync maps: async runs do speculative (master-cut) work on iteration
+    // N+1, which makes byte totals timing-dependent.
+    conf.async_maps = false;
+    engine.run(conf);
+    return cluster->metrics().traffic_bytes(TrafficCategory::kShuffle);
+  };
+  int64_t three = shuffle_bytes(3);
+  int64_t six = shuffle_bytes(6);
+  EXPECT_NEAR(static_cast<double>(six), 2.0 * static_cast<double>(three),
+              0.02 * static_cast<double>(six));
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,104 @@
+// Typed-adapter tests: codecs and an end-to-end typed SSSP that must match
+// the byte-level implementation exactly.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "algorithms/sssp.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "imapreduce/typed.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+TEST(TypeCodecs, RoundTrips) {
+  EXPECT_EQ(TypeCodec<uint32_t>::decode(TypeCodec<uint32_t>::encode(42u)),
+            42u);
+  EXPECT_EQ(TypeCodec<uint64_t>::decode(TypeCodec<uint64_t>::encode(1ull << 50)),
+            1ull << 50);
+  EXPECT_EQ(TypeCodec<double>::decode(TypeCodec<double>::encode(-2.5)), -2.5);
+  EXPECT_EQ(TypeCodec<std::string>::decode(
+                TypeCodec<std::string>::encode("hello")),
+            "hello");
+  std::vector<double> dv = {1.0, -3.5};
+  EXPECT_EQ(TypeCodec<std::vector<double>>::decode(
+                TypeCodec<std::vector<double>>::encode(dv)),
+            dv);
+  std::vector<WEdge> ev = {{7, 0.5}};
+  EXPECT_EQ(TypeCodec<std::vector<WEdge>>::decode(
+                TypeCodec<std::vector<WEdge>>::encode(ev)),
+            ev);
+  std::vector<uint32_t> av = {1, 2, 3};
+  EXPECT_EQ(TypeCodec<std::vector<uint32_t>>::decode(
+                TypeCodec<std::vector<uint32_t>>::encode(av)),
+            av);
+}
+
+TEST(TypeCodecs, KeyEncodingIsOrderPreserving) {
+  EXPECT_LT(TypeCodec<uint32_t>::encode(3), TypeCodec<uint32_t>::encode(300));
+  EXPECT_LT(TypeCodec<double>::encode(-1.0), TypeCodec<double>::encode(2.0));
+}
+
+TEST(TypedApi, TypedSsspMatchesByteLevelImplementation) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 400;
+  spec.seed = 107;
+  Graph g = generate_lognormal_graph(spec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  // The same algorithm as Sssp::imapreduce, written against the typed API.
+  IterJobConf conf;
+  conf.name = "typed-sssp";
+  conf.state_path = "sssp/state";
+  conf.output_path = "typed_out";
+  conf.max_iterations = 6;
+
+  PhaseConf phase;
+  phase.static_path = "sssp/static";
+  phase.mapper =
+      typed_iter_mapper<uint32_t, double, std::vector<WEdge>, uint32_t,
+                        double>(
+          [](uint32_t u, double d, const std::vector<WEdge>* edges,
+             TypedEmitter<uint32_t, double>& out) {
+            if (d != kInf && edges != nullptr) {
+              for (const WEdge& e : *edges) out.emit(e.dst, d + e.weight);
+            }
+            out.emit(u, d);
+          });
+  phase.reducer = typed_iter_reducer<uint32_t, double, uint32_t, double>(
+      [](uint32_t u, const std::vector<double>& values,
+         TypedEmitter<uint32_t, double>& out) {
+        double best = kInf;
+        for (double v : values) best = std::min(best, v);
+        out.emit(u, best);
+      },
+      [](uint32_t, const double* prev, const double& cur) {
+        if (prev == nullptr) return 1.0;
+        return *prev == cur ? 0.0 : 1.0;
+      });
+  conf.phases.push_back(std::move(phase));
+
+  IterativeEngine engine(*cluster);
+  engine.run(conf);
+  auto typed_result = Sssp::read_result_imr(*cluster, "typed_out",
+                                            g.num_nodes());
+
+  engine.run(Sssp::imapreduce("sssp", "byte_out", 6));
+  auto byte_result = Sssp::read_result_imr(*cluster, "byte_out",
+                                           g.num_nodes());
+  EXPECT_EQ(typed_result, byte_result);
+}
+
+TEST(TypedApi, DecodeRejectsTrailingGarbage) {
+  Bytes enc = TypeCodec<std::vector<double>>::encode({1.0});
+  enc.push_back('x');
+  EXPECT_THROW(TypeCodec<std::vector<double>>::decode(enc), FormatError);
+}
+
+}  // namespace
+}  // namespace imr

@@ -1,0 +1,49 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+
+namespace imr::testutil {
+
+// A small cluster with zero costs (pure logic testing).
+inline std::unique_ptr<Cluster> free_cluster(int workers = 4, int map_slots = 4,
+                                             int reduce_slots = 4) {
+  ClusterConfig config;
+  config.num_workers = workers;
+  config.map_slots_per_worker = map_slots;
+  config.reduce_slots_per_worker = reduce_slots;
+  config.cost = CostModel::free();
+  return std::make_unique<Cluster>(config);
+}
+
+// A cluster with the paper-calibrated local-cluster cost model (virtual time
+// flows; still fast in real time).
+inline std::unique_ptr<Cluster> costed_cluster(int workers = 4,
+                                               int map_slots = 4,
+                                               int reduce_slots = 4) {
+  ClusterConfig config;
+  config.num_workers = workers;
+  config.map_slots_per_worker = map_slots;
+  config.reduce_slots_per_worker = reduce_slots;
+  config.cost = CostModel::local_cluster();
+  return std::make_unique<Cluster>(config);
+}
+
+inline void expect_near_vectors(const std::vector<double>& expected,
+                                const std::vector<double>& actual,
+                                double tol) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      EXPECT_TRUE(std::isinf(actual[i])) << "index " << i;
+    } else {
+      EXPECT_NEAR(expected[i], actual[i], tol) << "index " << i;
+    }
+  }
+}
+
+}  // namespace imr::testutil

@@ -1,0 +1,266 @@
+// imr_run — command-line driver for the framework.
+//
+//   imr_run <algorithm> [flags]
+//
+// Algorithms: sssp | pagerank | concomp | kmeans | jacobi | logreg | matpower
+//
+// Common flags:
+//   --engine imr|mr|both   which framework to run (default both)
+//   --workers N            cluster size (default 4)
+//   --tasks N              persistent task pairs (default = workers)
+//   --iterations N         max iterations (default 10)
+//   --threshold X          distance threshold (default: fixed iterations)
+//   --sync                 disable asynchronous map execution
+//   --buffer N             reduce->map send buffer records
+//   --checkpoint N         checkpoint every N iterations
+//   --balance              enable load balancing
+//   --combiner             enable the map-side combiner (kmeans)
+//   --ec2                  use the EC2 cost preset instead of local
+//   --data-scale S         cost-model scaling for 1/S-size datasets
+//   --seed S               dataset seed
+//   --report               dump the metrics report after the run
+//
+// Dataset flags: --graph <name> --scale <s> (graph algorithms),
+//   --points/--dim/--clusters (kmeans), --samples/--lr (logreg),
+//   --n/--density (jacobi), --n (matpower).
+#include <cstdio>
+
+#include "algorithms/concomp.h"
+#include "algorithms/jacobi.h"
+#include "algorithms/kmeans.h"
+#include "algorithms/logreg.h"
+#include "algorithms/matpower.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "bench_util/harness.h"
+#include "common/flags.h"
+#include "common/log.h"
+#include "graph/generator.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/iterative_driver.h"
+
+using namespace imr;
+
+namespace {
+
+struct Options {
+  std::string engine = "both";
+  int workers = 4;
+  int tasks = 0;
+  int iterations = 10;
+  double threshold = -1.0;
+  bool sync = false;
+  int buffer = 4096;
+  int checkpoint = 0;
+  bool balance = false;
+  bool combiner = false;
+  bool ec2 = false;
+  double data_scale = 1.0;
+  uint64_t seed = 42;
+  bool report = false;
+};
+
+Options parse_options(const Flags& flags) {
+  Options o;
+  o.engine = flags.get("engine", "both");
+  o.workers = static_cast<int>(flags.get_int("workers", 4));
+  o.tasks = static_cast<int>(flags.get_int("tasks", 0));
+  o.iterations = static_cast<int>(flags.get_int("iterations", 10));
+  o.threshold = flags.get_double("threshold", -1.0);
+  o.sync = flags.get_bool("sync");
+  o.buffer = static_cast<int>(flags.get_int("buffer", 4096));
+  o.checkpoint = static_cast<int>(flags.get_int("checkpoint", 0));
+  o.balance = flags.get_bool("balance");
+  o.combiner = flags.get_bool("combiner");
+  o.ec2 = flags.get_bool("ec2");
+  o.data_scale = flags.get_double("data-scale", 1.0);
+  o.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
+  o.report = flags.get_bool("report");
+  return o;
+}
+
+std::unique_ptr<Cluster> make_cluster(const Options& o) {
+  ClusterConfig config = o.ec2 ? bench::ec2_preset(o.workers, o.data_scale)
+                               : bench::local_cluster_preset(o.data_scale);
+  config.num_workers = o.workers;
+  return std::make_unique<Cluster>(config);
+}
+
+void apply_common(IterJobConf& conf, const Options& o) {
+  conf.num_tasks = o.tasks;
+  if (o.sync) conf.async_maps = false;
+  conf.buffer_records = o.buffer;
+  conf.checkpoint_every = o.checkpoint;
+  conf.load_balancing = o.balance;
+}
+
+void print_outcome(const char* label, const RunReport& r) {
+  std::printf("%-22s %3d iterations  %10.1f virtual s  %s\n", label,
+              r.iterations_run, r.total_wall_ms / 1e3,
+              r.converged ? "(converged)" : "");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: imr_run <sssp|pagerank|concomp|kmeans|jacobi|logreg|"
+               "matpower> [flags]\n  (see the header of tools/imr_run.cpp)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string algo = flags.positional()[0];
+  Options o = parse_options(flags);
+  if (flags.get_bool("verbose")) set_log_level(LogLevel::kInfo);
+
+  auto cluster = make_cluster(o);
+  const bool run_mr = o.engine == "mr" || o.engine == "both";
+  const bool run_imr = o.engine == "imr" || o.engine == "both";
+  RunReport mr, imr;
+
+  try {
+    if (algo == "sssp" || algo == "pagerank" || algo == "concomp") {
+      const std::string graph_name =
+          flags.get("graph", algo == "pagerank" ? "google" : "dblp");
+      const double scale = flags.get_double("scale", 0.01);
+      Graph g = algo == "pagerank"
+                    ? make_pagerank_graph(graph_name, scale, o.seed)
+                    : make_sssp_graph(graph_name, scale, o.seed);
+      std::printf("graph %s: %u nodes, %llu edges\n", graph_name.c_str(),
+                  g.num_nodes(),
+                  static_cast<unsigned long long>(g.num_edges()));
+      if (algo == "sssp") {
+        Sssp::setup(*cluster, g, 0, "data");
+        if (run_mr) {
+          IterativeDriver driver(*cluster);
+          mr = driver.run(
+              Sssp::baseline("data", "work", o.iterations, o.threshold));
+        }
+        if (run_imr) {
+          IterJobConf conf =
+              Sssp::imapreduce("data", "out", o.iterations, o.threshold);
+          apply_common(conf, o);
+          imr = IterativeEngine(*cluster).run(conf);
+        }
+      } else if (algo == "pagerank") {
+        PageRank::setup(*cluster, g, "data");
+        if (run_mr) {
+          IterativeDriver driver(*cluster);
+          mr = driver.run(PageRank::baseline("data", "work", g.num_nodes(),
+                                             o.iterations, o.threshold));
+        }
+        if (run_imr) {
+          IterJobConf conf = PageRank::imapreduce(
+              "data", "out", g.num_nodes(), o.iterations, o.threshold);
+          apply_common(conf, o);
+          imr = IterativeEngine(*cluster).run(conf);
+        }
+      } else {
+        ConComp::setup(*cluster, g, "data");
+        if (run_mr) {
+          IterativeDriver driver(*cluster);
+          mr = driver.run(
+              ConComp::baseline("data", "work", o.iterations, o.threshold));
+        }
+        if (run_imr) {
+          IterJobConf conf =
+              ConComp::imapreduce("data", "out", o.iterations, o.threshold);
+          apply_common(conf, o);
+          imr = IterativeEngine(*cluster).run(conf);
+        }
+      }
+    } else if (algo == "kmeans") {
+      KMeansDataSpec spec;
+      spec.num_points = static_cast<uint32_t>(flags.get_int("points", 10000));
+      spec.dim = static_cast<int>(flags.get_int("dim", 8));
+      spec.num_clusters = static_cast<int>(flags.get_int("clusters", 10));
+      spec.seed = o.seed;
+      auto points = KMeans::generate_points(spec);
+      KMeans::setup(*cluster, points, spec.num_clusters, "data");
+      if (run_mr) {
+        IterativeDriver driver(*cluster);
+        mr = driver.run(KMeans::baseline("data", "work", o.iterations,
+                                         o.threshold, o.combiner));
+      }
+      if (run_imr) {
+        IterJobConf conf = KMeans::imapreduce("data", "out", o.iterations,
+                                              o.threshold, o.combiner);
+        apply_common(conf, o);
+        imr = IterativeEngine(*cluster).run(conf);
+      }
+    } else if (algo == "jacobi") {
+      JacobiSystem sys =
+          Jacobi::generate(static_cast<uint32_t>(flags.get_int("n", 1000)),
+                           flags.get_double("density", 0.02), o.seed);
+      Jacobi::setup(*cluster, sys, "data");
+      if (run_mr) {
+        IterativeDriver driver(*cluster);
+        mr = driver.run(
+            Jacobi::baseline("data", "work", o.iterations, o.threshold));
+      }
+      if (run_imr) {
+        IterJobConf conf =
+            Jacobi::imapreduce("data", "out", o.iterations, o.threshold);
+        apply_common(conf, o);
+        imr = IterativeEngine(*cluster).run(conf);
+      }
+    } else if (algo == "logreg") {
+      LogRegDataSpec spec;
+      spec.num_samples =
+          static_cast<uint32_t>(flags.get_int("samples", 5000));
+      spec.dim = static_cast<int>(flags.get_int("dim", 6));
+      spec.seed = o.seed;
+      double lr = flags.get_double("lr", 0.5);
+      auto data = LogReg::generate(spec);
+      LogReg::setup(*cluster, data, spec.dim, "data");
+      if (run_mr) {
+        IterativeDriver driver(*cluster);
+        mr = driver.run(LogReg::baseline("data", "work", spec.dim,
+                                         o.iterations, lr, o.threshold));
+      }
+      if (run_imr) {
+        IterJobConf conf = LogReg::imapreduce("data", "out", spec.dim,
+                                              o.iterations, lr, o.threshold);
+        apply_common(conf, o);
+        imr = IterativeEngine(*cluster).run(conf);
+      }
+      if (run_imr) {
+        std::printf("accuracy: %.3f\n",
+                    LogReg::accuracy(data, LogReg::read_result(*cluster, "out")));
+      }
+    } else if (algo == "matpower") {
+      Matrix m = MatPower::generate(
+          static_cast<uint32_t>(flags.get_int("n", 64)), o.seed);
+      MatPower::setup(*cluster, m, "data");
+      if (run_mr) {
+        IterativeDriver driver(*cluster);
+        mr = driver.run(MatPower::baseline("data", "work", o.iterations));
+      }
+      if (run_imr) {
+        IterJobConf conf = MatPower::imapreduce("data", "out", o.iterations);
+        conf.num_tasks = o.tasks;
+        conf.buffer_records = o.buffer;
+        imr = IterativeEngine(*cluster).run(conf);
+      }
+    } else {
+      return usage();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("\n");
+  if (run_mr) print_outcome("MapReduce:", mr);
+  if (run_imr) print_outcome("iMapReduce:", imr);
+  if (run_mr && run_imr && imr.total_wall_ms > 0) {
+    std::printf("speedup: %.2fx\n", mr.total_wall_ms / imr.total_wall_ms);
+  }
+  if (o.report) {
+    std::printf("\n%s", cluster->metrics().report().c_str());
+  }
+  return 0;
+}
