@@ -1,5 +1,10 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+#include <string>
+
+#include "common/strings.h"
+
 namespace imr {
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
@@ -9,6 +14,9 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   dfs_ = std::make_unique<MiniDfs>(config_.num_workers, config_.cost,
                                    metrics_, config_.seed);
   fabric_ = std::make_unique<Fabric>(config_.cost, metrics_);
+  fabric_->set_liveness_probe([this](int w) {
+    return w < 0 || w >= config_.num_workers || worker_alive(w);
+  });
   speeds_.assign(static_cast<std::size_t>(config_.num_workers), 1.0);
   alive_.assign(static_cast<std::size_t>(config_.num_workers), true);
 }
@@ -26,17 +34,77 @@ double Cluster::worker_speed(int worker) const {
   return speeds_[static_cast<std::size_t>(worker)];
 }
 
-void Cluster::schedule_worker_failure(int worker, int at_iteration) {
-  check_worker(worker);
+void Cluster::set_fault_schedule(const FaultSchedule& schedule) {
+  for (const FaultEvent& e : schedule.events()) schedule_fault(e);
+}
+
+void Cluster::schedule_fault(const FaultEvent& event) {
+  check_worker(event.worker);
+  IMR_CHECK_MSG(event.at_iteration >= 1, "faults fire from iteration 1");
   std::lock_guard<std::mutex> lock(mu_);
-  scheduled_failures_[worker] = at_iteration;
+  pending_faults_.push_back(event);
+}
+
+void Cluster::schedule_worker_failure(int worker, int at_iteration) {
+  schedule_fault(
+      FaultEvent{worker, FaultPoint::kIterationBoundary, at_iteration});
 }
 
 bool Cluster::worker_failed(int worker, int finished_iteration) const {
+  return fault_pending(worker, FaultPoint::kIterationBoundary,
+                       finished_iteration);
+}
+
+bool Cluster::fault_pending(int worker, FaultPoint point, int iteration) const {
   check_worker(worker);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = scheduled_failures_.find(worker);
-  return it != scheduled_failures_.end() && finished_iteration >= it->second;
+  return std::any_of(pending_faults_.begin(), pending_faults_.end(),
+                     [&](const FaultEvent& e) {
+                       return e.worker == worker && e.point == point &&
+                              iteration >= e.at_iteration;
+                     });
+}
+
+bool Cluster::consume_fault(int worker, FaultPoint point, int iteration) {
+  check_worker(worker);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(pending_faults_.begin(), pending_faults_.end(),
+                           [&](const FaultEvent& e) {
+                             return e.worker == worker && e.point == point &&
+                                    iteration >= e.at_iteration;
+                           });
+    if (it == pending_faults_.end()) return false;
+    // Consuming removes the event, so a second probe — another task on the
+    // same worker, or a later job sharing this cluster — can never trip the
+    // same fault again.
+    pending_faults_.erase(it);
+    ++consumed_faults_;
+  }
+  metrics_.inc("faults_injected");
+  metrics_.inc(std::string("faults_injected_") + fault_point_name(point));
+  return true;
+}
+
+int Cluster::pending_fault_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(pending_faults_.size());
+}
+
+int64_t Cluster::consumed_fault_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consumed_faults_;
+}
+
+void Cluster::assert_faults_consumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_faults_.empty()) return;
+  const FaultEvent& e = pending_faults_.front();
+  IMR_CHECK_MSG(false, strprintf(
+                           "%d armed fault(s) never fired; first: worker %d, "
+                           "%s, at_iteration %d",
+                           static_cast<int>(pending_faults_.size()), e.worker,
+                           fault_point_name(e.point), e.at_iteration));
 }
 
 void Cluster::mark_dead(int worker) {
@@ -55,7 +123,10 @@ void Cluster::revive_worker(int worker) {
   check_worker(worker);
   std::lock_guard<std::mutex> lock(mu_);
   alive_[static_cast<std::size_t>(worker)] = true;
-  scheduled_failures_.erase(worker);
+  pending_faults_.erase(
+      std::remove_if(pending_faults_.begin(), pending_faults_.end(),
+                     [&](const FaultEvent& e) { return e.worker == worker; }),
+      pending_faults_.end());
 }
 
 }  // namespace imr

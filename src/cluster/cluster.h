@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/cost_model.h"
+#include "cluster/fault_schedule.h"
 #include "common/error.h"
 #include "dfs/mini_dfs.h"
 #include "metrics/metrics.h"
@@ -56,14 +57,39 @@ class Cluster {
   double worker_speed(int worker) const;
 
   // --- failure injection ---
-  // Schedule worker `w` to fail once any task on it finishes iteration
-  // `at_iteration`. Tasks poll `worker_failed` at iteration boundaries; the
-  // engine's master marks the worker dead and recovers (§3.4.1).
+  // Arms fault events. Tasks probe the schedule at the engine's injection
+  // points (see FaultPoint); the first probe matching an armed event
+  // *consumes* it — exactly once — and the probing task notifies the master,
+  // which marks the worker dead and recovers (§3.4.1). Consumption is what
+  // keeps a schedule from leaking into a later job sharing this cluster.
+  void set_fault_schedule(const FaultSchedule& schedule);
+  void schedule_fault(const FaultEvent& event);
+  // Legacy single-point form: fail once any task on `worker` finishes
+  // iteration `at_iteration` (an armed kIterationBoundary event).
   void schedule_worker_failure(int worker, int at_iteration);
-  // True when a failure is scheduled at or before `finished_iteration`.
+
+  // Query (does not consume): a kIterationBoundary event is armed at or
+  // before `finished_iteration`.
   bool worker_failed(int worker, int finished_iteration) const;
+  // Query (does not consume): an event for (worker, point) is armed at or
+  // before `iteration`.
+  bool fault_pending(int worker, FaultPoint point, int iteration) const;
+  // Consumes the first armed event matching (worker, point, >= at_iteration).
+  // Returns true exactly once per armed event; the engine calls this at its
+  // injection points. Consumed events also increment the metrics counters
+  // `faults_injected` and `faults_injected_<point>`.
+  bool consume_fault(int worker, FaultPoint point, int iteration);
+
+  int pending_fault_count() const;
+  int64_t consumed_fault_count() const;
+  // Asserts every armed fault was consumed — chaos harness hygiene: a sweep
+  // case whose fault never fired is testing the failure-free path by
+  // accident.
+  void assert_faults_consumed() const;
+
   void mark_dead(int worker);
   bool worker_alive(int worker) const;
+  // Revives the worker and disarms any fault still scheduled for it.
   void revive_worker(int worker);
 
  private:
@@ -80,7 +106,8 @@ class Cluster {
   mutable std::mutex mu_;
   std::vector<double> speeds_;
   std::vector<bool> alive_;
-  std::map<int, int> scheduled_failures_;  // worker -> iteration
+  std::vector<FaultEvent> pending_faults_;
+  int64_t consumed_faults_ = 0;
 };
 
 }  // namespace imr

@@ -21,16 +21,18 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  // Pushes an item. Pushing to a closed queue silently drops the item (a
-  // late producer racing a consumer-side shutdown is normal during
-  // termination and rollback).
-  void push(T item) {
+  // Pushes an item. Pushing to a closed queue drops the item and returns
+  // false (a late producer racing a consumer-side shutdown is normal during
+  // termination and rollback); callers that must account for every message
+  // use the return value.
+  bool push(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) return;
+      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
@@ -63,12 +65,15 @@ class BlockingQueue {
     cv_.notify_all();
   }
 
-  // Reopens a closed queue and discards any stale items. Used when a
-  // persistent task is rolled back and its channels must be reset.
-  void reset() {
+  // Reopens a closed queue and discards any stale items, returning how many
+  // were discarded. Used when a persistent task is rolled back and its
+  // channels must be reset.
+  std::size_t reset() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = false;
+    std::size_t discarded = items_.size();
     items_.clear();
+    return discarded;
   }
 
   bool closed() const {

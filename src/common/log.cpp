@@ -3,12 +3,26 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace imr {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// IMR_LOG=debug|info|warn|error|off overrides the default (handy for
+// replaying a failing chaos seed with full protocol tracing).
+LogLevel initial_level() {
+  const char* env = std::getenv("IMR_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel l) {

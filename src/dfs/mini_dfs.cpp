@@ -37,6 +37,9 @@ std::vector<int> MiniDfs::place_replicas(int writer_worker) {
 void MiniDfs::write_file(const std::string& path, KVVec records,
                          int writer_worker, VClock* vt,
                          TrafficCategory category) {
+  // The whole write holds mu_: place_replicas draws from the shared rng_,
+  // and part/checkpoint dumps run concurrently from many task threads.
+  std::lock_guard<std::mutex> lock(mu_);
   File f;
   f.bytes = wire_size(records);
   f.records = std::move(records);
@@ -78,7 +81,6 @@ void MiniDfs::write_file(const std::string& path, KVVec records,
                          /*remote=*/true);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
   files_[path] = std::move(f);
 }
 
@@ -210,6 +212,20 @@ bool MiniDfs::exists(const std::string& path) const {
 void MiniDfs::remove(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   files_.erase(path);
+}
+
+std::size_t MiniDfs::remove_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = files_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
 }
 
 std::vector<std::string> MiniDfs::list(const std::string& prefix) const {

@@ -75,6 +75,8 @@ class MiniDfs {
 
   bool exists(const std::string& path) const;
   void remove(const std::string& path);
+  // Removes every file under `prefix` (checkpoint GC); returns how many.
+  std::size_t remove_prefix(const std::string& prefix);
   // All paths with the given prefix, sorted.
   std::vector<std::string> list(const std::string& prefix) const;
   std::size_t file_bytes(const std::string& path) const;

@@ -78,6 +78,13 @@ struct IterJobConf {
   // §3.4.2: report-driven task-pair migration.
   bool load_balancing = false;
   double migration_threshold = 0.4;  // relative deviation that triggers it
+  // Noise gate for the deviation test: the slowest worker must also exceed
+  // the trimmed average by this much absolute virtual time. Iteration spans
+  // carry measured thread-CPU time, so on a loaded machine a homogeneous
+  // cluster can show large *relative* deviation on microsecond-scale
+  // iterations; a migration (which costs a rollback) is only worth it when
+  // the gap is material.
+  double migration_min_gap_ms = 25.0;
 
   std::optional<AuxConf> aux;
 

@@ -113,6 +113,11 @@ class StashedInbox {
         continue;
       }
       // Older generation or already-finished iteration: stale, drop.
+      IMR_DEBUG << ep_->name() << " drops stale "
+                << (msg->kind == NetMessage::Kind::kEos ? "eos" : "data")
+                << " gen " << msg->generation << " iter " << msg->iteration
+                << " from " << msg->from_task << " (want gen " << gen
+                << " iter " << iter << ")";
     }
   }
 
@@ -201,6 +206,20 @@ class JobRun {
     msg.control = ctl.encode();
     ctx.send(*master_ep_, std::move(msg), TrafficCategory::kControl);
   }
+  // An injected crash: the dying task's last breath is the failure notice
+  // (the in-process stand-in for the master's heartbeat timeout). The caller
+  // must return immediately after.
+  void fail_task(TaskContext& ctx, int task, int iteration, int gen) {
+    IMR_DEBUG << tag_ << ": task " << task << " (worker " << ctx.worker()
+              << ") injected failure at iter " << iteration << " gen " << gen;
+    CtlMsg fail;
+    fail.type = CtlType::kFailure;
+    fail.task = task;
+    fail.iteration = iteration;
+    fail.generation = gen;
+    fail.worker = ctx.worker();
+    task_send_ctl(ctx, fail);
+  }
 
   // --- data helpers ---
   void send_batch(TaskContext& ctx, Endpoint& to, KVVec records, int from,
@@ -224,8 +243,12 @@ class JobRun {
   }
 
   // --- task bodies ---
-  void run_map(int p, int i, int gen, int start_iter, int64_t start_vt);
-  void run_reduce(int p, int i, int gen, int start_iter, int64_t start_vt);
+  // `worker` and `ep` are captured by the spawning thread (see spawn_pair),
+  // not read here: a task thread may be scheduled arbitrarily late.
+  void run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
+               int worker, std::shared_ptr<Endpoint> ep);
+  void run_reduce(int p, int i, int gen, int start_iter, int64_t start_vt,
+                  int worker, std::shared_ptr<Endpoint> ep);
   void run_aux_map(int j);
   void run_aux_reduce(int j);
   void master_loop(VClock& mvt);
@@ -248,12 +271,23 @@ class JobRun {
     });
   }
   void spawn_pair(int i, int gen, int start_iter, int64_t start_vt) {
+    // Resolve the pair's home worker and inbox endpoints HERE, in the
+    // spawning thread. A new thread can begin running arbitrarily late —
+    // after a subsequent recovery has re-homed this pair and replaced its
+    // endpoints. A task that resolved its own inbox only once scheduled
+    // would then grab the *replacement* mailbox: its Kill would sit unread
+    // in the abandoned one while it silently stole (and stashed, by
+    // generation) the replacement task's messages — a deadlock that only
+    // shows up when thread start-up is delayed by machine load.
+    int worker = pair_worker(i);
     for (int p = 0; p < P_; ++p) {
-      spawn([this, p, i, gen, start_iter, start_vt] {
-        run_map(p, i, gen, start_iter, start_vt);
+      auto mep = map_ep(p, i);
+      auto rep = red_ep(p, i);
+      spawn([this, p, i, gen, start_iter, start_vt, worker, mep] {
+        run_map(p, i, gen, start_iter, start_vt, worker, mep);
       });
-      spawn([this, p, i, gen, start_iter, start_vt] {
-        run_reduce(p, i, gen, start_iter, start_vt);
+      spawn([this, p, i, gen, start_iter, start_vt, worker, rep] {
+        run_reduce(p, i, gen, start_iter, start_vt, worker, rep);
       });
     }
   }
@@ -312,7 +346,8 @@ class JobRun {
 // Map task
 // ---------------------------------------------------------------------------
 
-void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
+void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
+                     int worker, std::shared_ptr<Endpoint> ep) {
   const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
   const bool one2all = ph.mapping == Mapping::kOne2All;
   const bool is_phase0 = (p == 0);
@@ -324,11 +359,13 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
           ? T_
           : 0;
 
-  std::shared_ptr<Endpoint> ep = map_ep(p, i);
   StashedInbox inbox(ep);
-  TaskContext ctx(cluster_, map_ep_name(p, i), pair_worker(i), start_vt);
+  TaskContext ctx(cluster_, map_ep_name(p, i), worker, start_vt);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
   cluster_.metrics().inc("imr_persistent_map_tasks");
+  IMR_DEBUG << tag_ << ": map " << p << "/" << i << " gen " << gen
+            << " starting at iter " << start_iter << " on worker "
+            << ctx.worker();
 
   // One-time static load (§3.2: loaded to local FS once).
   KVVec static_sorted;
@@ -408,16 +445,26 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
     }
   };
 
-  auto finish_iteration = [&](int iter) {
+  // Returns true when an injected crash killed the task mid-shuffle.
+  auto finish_iteration = [&](int iter) -> bool {
     {
       ThreadCpuTimer cpu;
       mapper->flush(emitter);
       ctx.charge_compute(cpu.elapsed_ns());
     }
     flush_buffers(iter, /*final_flush=*/true);
+    // Injection point: died after flushing shuffle data but before any EOS —
+    // every downstream reduce holds a partial iteration that only the
+    // rollback's generation bump can clear.
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidShuffle, iter)) {
+      fail_task(ctx, i, iter, gen);
+      return true;
+    }
     for (int r = 0; r < T_; ++r) {
       send_eos(ctx, *red_ep(p, r), i, iter, gen, TrafficCategory::kShuffle);
     }
+    IMR_DEBUG << tag_ << ": map " << p << "/" << i << " shipped eos iter "
+              << iter << " gen " << gen;
     if (num_aux > 0) {
       for (int a = 0; a < num_aux; ++a) {
         KVVec& buf = emitter.aux_buffers()[static_cast<std::size_t>(a)];
@@ -431,6 +478,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
                  TrafficCategory::kShuffle);
       }
     }
+    return false;
   };
 
   int k = start_iter;
@@ -443,6 +491,12 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
   }
 
   while (true) {
+    // Injection point: died while working on iteration k, before its shuffle
+    // output exists.
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidMap, k)) {
+      fail_task(ctx, i, k, gen);
+      return;
+    }
     int rollback_to = -1;
     if (have_pending) {
       have_pending = false;
@@ -452,7 +506,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
         process_one2one_batch(pending);
       }
       pending = KVVec{};
-      finish_iteration(k);
+      if (finish_iteration(k)) return;
       ++k;
       continue;
     }
@@ -511,10 +565,16 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
       }
     }
 
-    if (event == LoopEvent::kClosed || event == LoopEvent::kTerminate) return;
+    if (event == LoopEvent::kClosed || event == LoopEvent::kTerminate) {
+      IMR_DEBUG << tag_ << ": map " << p << "/" << i << " gen " << gen
+                << " exiting at iter " << k;
+      return;
+    }
     if (event == LoopEvent::kRollback) {
       // Restart from the checkpoint (§3.4): stale queue contents are
       // filtered by generation; reload the state and resume.
+      IMR_DEBUG << tag_ << ": map " << p << "/" << i << " rollback to "
+                << rollback_to << " gen " << gen;
       emitter.clear();
       k = rollback_to + 1;
       go_allowed = k;
@@ -532,7 +592,9 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
         process_one2one_batch(stash);
       }
     }
-    finish_iteration(k);
+    if (finish_iteration(k)) return;
+    IMR_DEBUG << tag_ << ": map " << p << "/" << i << " finished iter " << k
+              << " gen " << gen;
     ++k;
   }
 }
@@ -542,7 +604,8 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt) {
 // ---------------------------------------------------------------------------
 
 void JobRun::run_reduce(int p, int i, int gen, int start_iter,
-                        int64_t start_vt) {
+                        int64_t start_vt, int worker,
+                        std::shared_ptr<Endpoint> ep) {
   const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
   const bool last_phase = (p == P_ - 1);
   const bool is_phase0 = (p == 0);
@@ -553,11 +616,22 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       conf_.aux && last_phase &&
       conf_.aux->source == AuxConf::Source::kReduceOutput;
 
-  std::shared_ptr<Endpoint> ep = red_ep(p, i);
   StashedInbox inbox(ep);
-  TaskContext ctx(cluster_, red_ep_name(p, i), pair_worker(i), start_vt);
+  TaskContext ctx(cluster_, red_ep_name(p, i), worker, start_vt);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
   cluster_.metrics().inc("imr_persistent_reduce_tasks");
+  IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
+            << " starting at iter " << start_iter << " on worker "
+            << ctx.worker();
+
+  // Injection point: a respawned task (gen > 0 means it was just migrated or
+  // recovered) dies on startup — a failure during recovery itself, the
+  // cascading case of §3.4.2.
+  if (gen > 0 &&
+      cluster_.consume_fault(ctx.worker(), FaultPoint::kMigration, start_iter)) {
+    fail_task(ctx, i, start_iter, gen);
+    return;
+  }
 
   std::unique_ptr<IterReducer> reducer = ph.reducer();
   reducer->configure(conf_.params);
@@ -637,6 +711,9 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       }
       if (msg->kind == NetMessage::Kind::kEos) {
         ++eos_seen;
+        IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
+                  << " iter " << k << " eos " << eos_seen << "/" << T_
+                  << " from " << msg->from_task;
       } else {
         records.insert(records.end(),
                        std::make_move_iterator(msg->records.begin()),
@@ -644,7 +721,11 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       }
     }
 
-    if (event == LoopEvent::kClosed || event == LoopEvent::kKill) return;
+    if (event == LoopEvent::kClosed || event == LoopEvent::kKill) {
+      IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
+                << " exiting at iter " << k;
+      return;
+    }
     if (event == LoopEvent::kTerminate) {
       if (last_phase) {
         // Dump the final state to DFS — the single output write of the whole
@@ -660,6 +741,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       return;
     }
     if (event == LoopEvent::kRollback) {
+      IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " rollback to "
+                << rollback_to << " gen " << gen;
       k = rollback_to + 1;
       allowed = k;
       if (last_phase) load_reduce_state(rollback_to);
@@ -732,6 +815,12 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                      }
                    });
     ctx.charge_compute(cpu.elapsed_ns());
+    // Injection point: died mid reduce->map push — earlier batches of this
+    // iteration are already out, the tail and all EOS markers are not.
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kStatePush, k)) {
+      fail_task(ctx, i, k, gen);
+      return;
+    }
     if (!pending_batch.empty()) ship_batch(std::move(pending_batch));
     if (next_mapping == Mapping::kOne2All) {
       for (int m = 0; m < T_; ++m) {
@@ -746,6 +835,29 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     if (last_phase && conf_.checkpoint_every > 0 &&
         k % conf_.checkpoint_every == 0) {
       VClock parallel_clock(ctx.vt().now_ns());
+      // Injection point: died DURING the checkpoint dump, leaving a torn
+      // (truncated) part file behind. Because the Report for iteration k is
+      // only sent after the dump, the master never collects all of k's
+      // reports and so never advances last_ckpt to k — recovery always
+      // restores the previous complete checkpoint, never this torn one
+      // (§3.4.1 write-then-report ordering; pinned by a regression test).
+      if (cluster_.consume_fault(ctx.worker(), FaultPoint::kCheckpointWrite,
+                                 k)) {
+        KVVec torn;
+        torn.reserve(state_map.size() / 2);
+        for (const auto& [key, value] : state_map) {
+          if (torn.size() >= state_map.size() / 2) break;
+          torn.emplace_back(key, value);
+        }
+        sort_records(torn, /*sort_values=*/false);
+        cluster_.dfs().write_file(ckpt_path(k) + "/part-" + std::to_string(i),
+                                  std::move(torn), ctx.worker(),
+                                  &parallel_clock,
+                                  TrafficCategory::kCheckpoint);
+        cluster_.metrics().inc("imr_torn_checkpoints");
+        fail_task(ctx, i, k, gen);
+        return;
+      }
       dump_state(ckpt_path(k), &parallel_clock, TrafficCategory::kCheckpoint);
       cluster_.metrics().inc("imr_checkpoints");
     }
@@ -764,21 +876,20 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       }
     }
 
-    // Failure detection point (§3.4.1): the injector trips at iteration
-    // boundaries; the task notifies the master and dies.
-    if (cluster_.worker_failed(ctx.worker(), k)) {
-      CtlMsg fail;
-      fail.type = CtlType::kFailure;
-      fail.task = i;
-      fail.iteration = k;
-      fail.generation = gen;
-      fail.worker = ctx.worker();
-      task_send_ctl(ctx, fail);
+    // Injection point (§3.4.1, the classic one): died at the iteration
+    // boundary, after all of iteration k's work. Consuming the event (rather
+    // than querying it) guarantees a scheduled failure trips exactly once —
+    // a stale schedule can never leak into a later job on the same cluster.
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kIterationBoundary,
+                               k)) {
+      fail_task(ctx, i, k, gen);
       return;
     }
 
     // Iteration completion report (§3.4.2).
     if (last_phase) {
+      IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " reporting iter "
+                << k << " gen " << gen;
       CtlMsg report;
       report.type = CtlType::kReport;
       report.task = i;
@@ -993,6 +1104,7 @@ void JobRun::master_loop(VClock& mvt) {
     }
     pending.clear();
     decided = ckpt_iter;
+    report_.rollback_iterations.push_back(ckpt_iter);
   };
 
   while (done_count < T_) {
@@ -1000,11 +1112,18 @@ void JobRun::master_loop(VClock& mvt) {
     if (!msg) break;
     if (msg->kind != NetMessage::Kind::kControl) continue;
     CtlMsg ctl = CtlMsg::decode(msg->control);
+    IMR_DEBUG << tag_ << ": master ctl type " << static_cast<int>(ctl.type)
+              << " task " << ctl.task << " iter " << ctl.iteration << " gen "
+              << ctl.generation << " (decided " << decided << " gen "
+              << generation << ")";
 
     switch (ctl.type) {
       case CtlType::kDone: {
         ++done_count;
         final_vt_ = std::max(final_vt_, mvt.now_ns());
+        // Output-consistency audit: the iteration each part file was dumped
+        // at (the InvariantChecker asserts they all agree).
+        report_.final_part_iterations.push_back(ctl.iteration);
         break;
       }
       case CtlType::kAuxSignal: {
@@ -1130,9 +1249,15 @@ void JobRun::master_loop(VClock& mvt) {
           double avg = sum / static_cast<double>(durs.size() - 2);
           int slowest = durs.back().first;
           int fastest = durs.front().first;
-          double dev =
-              (static_cast<double>(durs.back().second) - avg) / avg;
+          double gap_ms =
+              (static_cast<double>(durs.back().second) - avg) / 1e6;
+          double dev = (static_cast<double>(durs.back().second) - avg) / avg;
+          IMR_DEBUG << tag_ << ": lb iter " << decided << " avg "
+                    << avg / 1e6 << " ms, max "
+                    << static_cast<double>(durs.back().second) / 1e6
+                    << " ms (worker " << slowest << "), dev " << dev;
           if (avg > 0 && dev > conf_.migration_threshold &&
+              gap_ms > conf_.migration_min_gap_ms &&
               cluster_.worker_alive(fastest) && slowest != fastest) {
             // Migrate the slowest pair on the slowest worker.
             int victim = -1;
@@ -1149,6 +1274,7 @@ void JobRun::master_loop(VClock& mvt) {
               cluster_.metrics().inc("imr_migrations");
               last_migration_iter = decided;
               respawn_and_rollback({victim}, {fastest}, last_ckpt);
+              ++report_.migration_rollbacks;
             }
           }
         }
@@ -1248,6 +1374,10 @@ RunReport JobRun::execute() {
     cluster_.fabric().remove_endpoint(ep->name());
   }
   cluster_.fabric().remove_endpoint(master_ep_->name());
+
+  // Checkpoints are recovery-scoped; a completed job garbage-collects its
+  // own (including any torn part a mid-write crash left behind).
+  cluster_.dfs().remove_prefix("ckpt/" + tag_ + "/");
 
   report_.label = conf_.name + "/imapreduce";
   report_.total_wall_ms = static_cast<double>(std::max(final_vt_, mvt.now_ns())) / 1e6;

@@ -1,0 +1,121 @@
+#include "metrics/invariants.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace imr {
+
+std::vector<std::string> InvariantChecker::check(
+    const InvariantExpectations& expect) const {
+  std::vector<std::string> violations;
+  auto fail = [&](std::string what) { violations.push_back(std::move(what)); };
+
+  // 1. Traffic conservation.
+  for (int cat = 0; cat < kNumTrafficCategories; ++cat) {
+    auto c = static_cast<TrafficCategory>(cat);
+    int64_t bytes = metrics_.traffic_bytes(c);
+    int64_t remote = metrics_.traffic_remote_bytes(c);
+    if (bytes < 0 || remote < 0 || remote > bytes) {
+      fail(strprintf("traffic[%s]: remote %lld outside [0, total %lld]",
+                     traffic_category_name(c),
+                     static_cast<long long>(remote),
+                     static_cast<long long>(bytes)));
+    }
+  }
+  if (metrics_.total_remote_bytes() > metrics_.total_bytes()) {
+    fail("total remote bytes exceed total bytes");
+  }
+
+  // 2. Channel conservation.
+  if (has_channel_) {
+    const ChannelStats& s = channel_;
+    if (s.attempts != s.delivered + s.dropped + s.rejected) {
+      fail(strprintf("channel ledger: attempts %lld != delivered %lld + "
+                     "dropped %lld + rejected %lld",
+                     static_cast<long long>(s.attempts),
+                     static_cast<long long>(s.delivered),
+                     static_cast<long long>(s.dropped),
+                     static_cast<long long>(s.rejected)));
+    }
+    if (expect.quiesced && s.delivered != s.received + s.discarded) {
+      fail(strprintf("channel ledger: delivered %lld != received %lld + "
+                     "discarded %lld after quiesce",
+                     static_cast<long long>(s.delivered),
+                     static_cast<long long>(s.received),
+                     static_cast<long long>(s.discarded)));
+    }
+  }
+
+  // 3. Co-location of the one2one reduce->map state channel.
+  if (expect.colocated_state_channel) {
+    int64_t remote =
+        metrics_.traffic_remote_bytes(TrafficCategory::kReduceToMap);
+    if (remote != 0) {
+      fail(strprintf("reduce->map channel moved %lld remote bytes; one2one "
+                     "pairs must stay co-located through recovery",
+                     static_cast<long long>(remote)));
+    }
+  }
+
+  if (report_ != nullptr) {
+    const RunReport& r = *report_;
+
+    // 4. Output consistency: every part dumped at the final iteration.
+    if (expect.expected_parts >= 0 &&
+        static_cast<int>(r.final_part_iterations.size()) !=
+            expect.expected_parts) {
+      fail(strprintf("expected %d final part files, saw %d",
+                     expect.expected_parts,
+                     static_cast<int>(r.final_part_iterations.size())));
+    }
+    for (int it : r.final_part_iterations) {
+      if (it != r.iterations_run) {
+        fail(strprintf("part file dumped at iteration %d, run decided %d",
+                       it, r.iterations_run));
+      }
+    }
+
+    // 5. Iteration ledger: +1 steps, or a restart at rollback + 1.
+    for (std::size_t n = 1; n < r.iterations.size(); ++n) {
+      int prev = r.iterations[n - 1].iteration;
+      int cur = r.iterations[n].iteration;
+      if (cur == prev + 1) continue;
+      bool rollback_restart =
+          cur <= prev &&
+          std::find(r.rollback_iterations.begin(), r.rollback_iterations.end(),
+                    cur - 1) != r.rollback_iterations.end();
+      if (!rollback_restart) {
+        fail(strprintf("iteration ledger jumps %d -> %d without a matching "
+                       "rollback",
+                       prev, cur));
+      }
+    }
+    if (!r.iterations.empty() &&
+        r.iterations.back().iteration != r.iterations_run) {
+      fail(strprintf("last decided iteration %d != iterations_run %d",
+                     r.iterations.back().iteration, r.iterations_run));
+    }
+
+    // 6. Recovery accounting.
+    if (expect.expected_recoveries >= 0 &&
+        static_cast<int>(r.rollback_iterations.size()) -
+                r.migration_rollbacks !=
+            expect.expected_recoveries) {
+      fail(strprintf("expected %d recovery rollbacks, saw %d",
+                     expect.expected_recoveries,
+                     static_cast<int>(r.rollback_iterations.size()) -
+                         r.migration_rollbacks));
+    }
+  }
+  if (expect.expected_recoveries >= 0 &&
+      metrics_.count("imr_recoveries") != expect.expected_recoveries) {
+    fail(strprintf("expected %d recoveries, metrics count %lld",
+                   expect.expected_recoveries,
+                   static_cast<long long>(metrics_.count("imr_recoveries"))));
+  }
+
+  return violations;
+}
+
+}  // namespace imr

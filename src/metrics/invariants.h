@@ -1,0 +1,87 @@
+// InvariantChecker — conservation and recovery invariants over a finished
+// run. The chaos harness runs it after every fault-injected job; a clean
+// failure-free run must satisfy the same invariants trivially.
+//
+// The checker deliberately consumes only plain data (MetricsRegistry,
+// RunReport, ChannelStats snapshots) so that it sits at the metrics layer:
+// higher layers (net, cluster, the test harness) gather the snapshots and
+// hand them down.
+//
+// Checked invariants:
+//   1. traffic conservation  — per category, 0 <= remote bytes <= bytes, and
+//      total remote <= total (nothing is double-counted or negative);
+//   2. channel conservation  — every send attempt is accounted for:
+//      attempts == delivered + dropped + rejected, and once quiesced
+//      delivered == received + discarded (no message is lost outside the
+//      declared drop/discard ledger, none materializes from nowhere);
+//   3. co-location           — the one2one reduce->map state channel moved
+//      zero remote bytes (§3.2.1's saving survives recovery and migration,
+//      because a pair's endpoints always move together);
+//   4. output consistency    — every final part file was dumped at the same
+//      iteration, which equals the run's decided iteration count (§3.1.2's
+//      deterministic-termination contract);
+//   5. iteration ledger      — decided iterations advance by exactly one,
+//      except across a recorded rollback, where they restart at
+//      rollback + 1 (exactly-once application of every decided iteration);
+//   6. recovery accounting   — the master recovered exactly once per
+//      injected worker death.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace imr {
+
+// Snapshot of a Fabric's message ledger (Fabric::channel_stats()).
+struct ChannelStats {
+  int64_t attempts = 0;   // send() calls including fault-injected retries
+  int64_t delivered = 0;  // enqueued at a receiver mailbox
+  int64_t dropped = 0;    // lost to an injected channel fault (then retried)
+  int64_t rejected = 0;   // pushed to a closed mailbox (late producer)
+  int64_t received = 0;   // popped by a receiver
+  int64_t discarded = 0;  // delivered but destroyed unread (rollback/teardown)
+};
+
+struct InvariantExpectations {
+  // The job ran one2one phases with paired endpoints co-located: expect zero
+  // remote bytes on the reduce->map channel. Disable for one2all jobs.
+  bool colocated_state_channel = true;
+  // All endpoints are torn down: delivered == received + discarded. Disable
+  // when checking mid-run.
+  bool quiesced = true;
+  // Exact number of recoveries the run must have performed (-1 = skip).
+  int expected_recoveries = -1;
+  // Exact number of final part files / Done notices (-1 = skip).
+  int expected_parts = -1;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const MetricsRegistry& metrics)
+      : metrics_(metrics) {}
+
+  InvariantChecker& with_channel_stats(const ChannelStats& stats) {
+    channel_ = stats;
+    has_channel_ = true;
+    return *this;
+  }
+  InvariantChecker& with_report(const RunReport& report) {
+    report_ = &report;
+    return *this;
+  }
+
+  // Returns one human-readable line per violated invariant; empty = clean.
+  std::vector<std::string> check(
+      const InvariantExpectations& expect = {}) const;
+
+ private:
+  const MetricsRegistry& metrics_;
+  ChannelStats channel_;
+  bool has_channel_ = false;
+  const RunReport* report_ = nullptr;
+};
+
+}  // namespace imr

@@ -129,6 +129,13 @@ struct RunReport {
   int iterations_run = 0;
   bool converged = false;
   std::vector<IterationStat> iterations;
+  // Recovery/migration audit trail (InvariantChecker input): the iteration
+  // each rollback restarted from, how many of those were migrations (the
+  // rest were failure recoveries), and the iteration each final part file
+  // was dumped at (one entry per Done notice).
+  std::vector<int> rollback_iterations;
+  int migration_rollbacks = 0;
+  std::vector<int> final_part_iterations;
   // Snapshot of key totals at end of run.
   int64_t total_comm_bytes = 0;    // all remote bytes
   int64_t shuffle_bytes = 0;

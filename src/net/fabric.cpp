@@ -6,7 +6,7 @@ namespace imr {
 
 std::shared_ptr<Endpoint> Fabric::create_endpoint(const std::string& name,
                                                   int home_worker) {
-  auto ep = std::make_shared<Endpoint>(name, home_worker);
+  auto ep = std::make_shared<Endpoint>(name, home_worker, ledger_);
   std::lock_guard<std::mutex> lock(mu_);
   endpoints_[name] = ep;
   return ep;
@@ -24,22 +24,92 @@ void Fabric::remove_endpoint(const std::string& name) {
   endpoints_.erase(name);
 }
 
+void Fabric::set_channel_faults(const ChannelFaultConfig& config) {
+  IMR_CHECK_MSG(config.drop_rate >= 0 && config.drop_rate < 1.0,
+                "drop_rate must be in [0, 1)");
+  IMR_CHECK_MSG(config.max_attempts >= 1, "need at least one attempt");
+  IMR_CHECK_MSG(config.backoff_factor >= 1.0, "backoff must not shrink");
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  faults_ = config;
+  fault_rng_ = Rng(config.seed);
+}
+
+ChannelStats Fabric::channel_stats() const {
+  ChannelStats s;
+  s.attempts = ledger_->attempts.load();
+  s.delivered = ledger_->delivered.load();
+  s.dropped = ledger_->dropped.load();
+  s.rejected = ledger_->rejected.load();
+  s.received = ledger_->received.load();
+  s.discarded = ledger_->discarded.load();
+  return s;
+}
+
+bool Fabric::draw_drop() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (faults_.drop_rate <= 0) return false;
+  return fault_rng_.uniform_real(0.0, 1.0) < faults_.drop_rate;
+}
+
 void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
                   TrafficCategory category) {
+  if (sender_worker >= 0 && liveness_ && !liveness_(sender_worker)) {
+    // Zombie send: the sender's machine is already declared dead, so nothing
+    // reaches the wire. Ledger-accounted as a drop, charged to nobody.
+    ledger_->attempts.fetch_add(1, std::memory_order_relaxed);
+    ledger_->dropped.fetch_add(1, std::memory_order_relaxed);
+    metrics_.inc("net_zombie_sends");
+    return;
+  }
   std::size_t bytes = msg.payload_bytes();
   bool local = (sender_worker == to.home_worker());
 
   double bw = local ? cost_.local_bandwidth : cost_.net_bandwidth;
   SimDuration latency = local ? cost_.local_latency : cost_.net_latency;
+  SimDuration ser = transfer_time(bytes, bw);
+
+  // Transient channel faults (chaos mode): drop attempts before the last
+  // permitted one; each drop pays the wasted wire time plus the detection
+  // timeout, with bounded exponential backoff between retries. The dropped
+  // bytes never count as delivered traffic — they live in the ledger and the
+  // named drop counters instead.
+  ChannelFaultConfig faults;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    faults = faults_;
+  }
+  if (faults.drop_rate > 0) {
+    SimDuration backoff = faults.retry_timeout;
+    for (int attempt = 1; attempt < faults.max_attempts && draw_drop();
+         ++attempt) {
+      ledger_->attempts.fetch_add(1, std::memory_order_relaxed);
+      ledger_->dropped.fetch_add(1, std::memory_order_relaxed);
+      vt.advance(ser + backoff);
+      metrics_.add_time(TimeCategory::kNetwork, ser);
+      metrics_.inc("net_dropped_sends");
+      metrics_.inc("net_dropped_bytes", static_cast<int64_t>(bytes));
+      metrics_.inc("net_retries");
+      backoff = std::min(
+          SimDuration(static_cast<int64_t>(
+              static_cast<double>(backoff.count()) * faults.backoff_factor)),
+          faults.max_backoff);
+    }
+  }
 
   // Sender pays serialization onto the wire.
-  SimDuration ser = transfer_time(bytes, bw);
   vt.advance(ser);
   metrics_.add_time(TimeCategory::kNetwork, ser + latency);
   metrics_.add_traffic(category, bytes, /*remote=*/!local);
 
   msg.vt_ready = vt.now_ns() + latency.count();
-  to.queue_.push(std::move(msg));
+  ledger_->attempts.fetch_add(1, std::memory_order_relaxed);
+  if (to.queue_.push(std::move(msg))) {
+    ledger_->delivered.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Late producer racing a closed mailbox (termination/rollback): the
+    // message is dropped by design, but it stays on the ledger.
+    ledger_->rejected.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Fabric::broadcast(int sender_worker, VClock& vt,

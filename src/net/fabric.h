@@ -11,10 +11,20 @@
 // memory bandwidth and does not count as remote traffic — this is exactly the
 // saving iMapReduce gets from co-locating each reduce task with its paired
 // map task (§3.2.1).
+//
+// Channel faults: set_channel_faults arms a seeded per-attempt drop
+// probability. A dropped attempt charges the wasted wire time plus a
+// detection timeout, then retries under bounded exponential backoff; the
+// final permitted attempt always delivers, so transient faults cost virtual
+// time but never lose data. Every attempt lands in the fabric's message
+// ledger (channel_stats), which the InvariantChecker reconciles after a run:
+// attempts == delivered + dropped + rejected, and once quiesced
+// delivered == received + discarded.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,10 +34,38 @@
 #include "cluster/cost_model.h"
 #include "common/blocking_queue.h"
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/sim_time.h"
+#include "metrics/invariants.h"
 #include "metrics/metrics.h"
 
 namespace imr {
+
+// Seeded transient-fault model for every channel of a fabric.
+struct ChannelFaultConfig {
+  double drop_rate = 0.0;  // per-attempt drop probability; 0 disables faults
+  uint64_t seed = 1;
+  // A drop is detected after `retry_timeout` (charged to the sender), then
+  // the send is retried; the timeout doubles per retry (`backoff_factor`) up
+  // to `max_backoff`. Attempt number `max_attempts` always succeeds.
+  int max_attempts = 10;
+  SimDuration retry_timeout = sim_us(200);
+  double backoff_factor = 2.0;
+  SimDuration max_backoff = sim_ms(20);
+};
+
+namespace detail {
+// Shared between the Fabric and its endpoints so that receive/discard counts
+// survive endpoint destruction (the checker runs after job teardown).
+struct ChannelLedger {
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> dropped{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<int64_t> received{0};
+  std::atomic<int64_t> discarded{0};
+};
+}  // namespace detail
 
 struct NetMessage {
   enum class Kind { kData, kEos, kControl };
@@ -50,8 +88,19 @@ struct NetMessage {
 // A mailbox. Created via Fabric so that delivery can be costed.
 class Endpoint {
  public:
-  Endpoint(std::string name, int home_worker)
-      : name_(std::move(name)), home_worker_(home_worker) {}
+  Endpoint(std::string name, int home_worker,
+           std::shared_ptr<detail::ChannelLedger> ledger = nullptr)
+      : name_(std::move(name)),
+        home_worker_(home_worker),
+        ledger_(std::move(ledger)) {}
+
+  // Undrained messages at teardown are declared discards in the ledger.
+  ~Endpoint() {
+    if (ledger_) {
+      ledger_->discarded.fetch_add(static_cast<int64_t>(queue_.size()),
+                                   std::memory_order_relaxed);
+    }
+  }
 
   const std::string& name() const { return name_; }
   int home_worker() const { return home_worker_.load(); }
@@ -62,34 +111,74 @@ class Endpoint {
   // Returns nullopt when the endpoint is closed and drained.
   std::optional<NetMessage> receive(VClock& vt) {
     auto msg = queue_.pop();
-    if (msg) vt.sync_to(msg->vt_ready);
+    if (msg) {
+      vt.sync_to(msg->vt_ready);
+      count_received();
+    }
     return msg;
   }
 
   std::optional<NetMessage> try_receive(VClock& vt) {
     auto msg = queue_.try_pop();
-    if (msg) vt.sync_to(msg->vt_ready);
+    if (msg) {
+      vt.sync_to(msg->vt_ready);
+      count_received();
+    }
     return msg;
   }
 
   void close() { queue_.close(); }
   // Discard stale traffic and reopen (task rollback).
-  void reset() { queue_.reset(); }
+  void reset() {
+    std::size_t discarded = queue_.reset();
+    if (ledger_ && discarded > 0) {
+      ledger_->discarded.fetch_add(static_cast<int64_t>(discarded),
+                                   std::memory_order_relaxed);
+    }
+  }
   std::size_t pending() const { return queue_.size(); }
 
  private:
   friend class Fabric;
+
+  void count_received() {
+    if (ledger_) ledger_->received.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::string name_;
   std::atomic<int> home_worker_;
+  std::shared_ptr<detail::ChannelLedger> ledger_;
   BlockingQueue<NetMessage> queue_;
 };
 
 class Fabric {
  public:
   Fabric(const CostModel& cost, MetricsRegistry& metrics)
-      : cost_(cost), metrics_(metrics) {}
+      : cost_(cost),
+        metrics_(metrics),
+        ledger_(std::make_shared<detail::ChannelLedger>()),
+        fault_rng_(1) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  // Arms (or, with drop_rate 0, disarms) transient channel faults for every
+  // subsequent send on this fabric.
+  void set_channel_faults(const ChannelFaultConfig& config);
+
+  // Installed once by the cluster before any task runs: packets from a worker
+  // the master has declared dead never reach the wire. A zombie task — an old
+  // generation racing its Kill message after a recovery — may still execute
+  // for a while, but its machine is gone, so its sends are suppressed. They
+  // stay on the ledger as drops so conservation reconciles, and never count
+  // as traffic; this is what keeps the reduce->map channel at zero remote
+  // bytes even through cascading recoveries. Master sends (sender_worker -1)
+  // are never suppressed.
+  void set_liveness_probe(std::function<bool(int)> probe) {
+    liveness_ = std::move(probe);
+  }
+
+  // Snapshot of the cumulative message ledger (see InvariantChecker).
+  ChannelStats channel_stats() const;
 
   // Creates and registers an endpoint. Replaces any previous endpoint with
   // the same name (engines re-create mailboxes between jobs).
@@ -110,10 +199,21 @@ class Fabric {
                  const NetMessage& msg, TrafficCategory category);
 
  private:
+  // True when this attempt is fault-dropped (seeded; serialized by a mutex —
+  // the draw *order* across sender threads affects only which sends pay the
+  // retry penalty, never message contents or per-sender FIFO order).
+  bool draw_drop();
+
   const CostModel& cost_;
   MetricsRegistry& metrics_;
+  std::function<bool(int)> liveness_;  // set before any concurrency
+  std::shared_ptr<detail::ChannelLedger> ledger_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+
+  std::mutex fault_mu_;
+  ChannelFaultConfig faults_;
+  Rng fault_rng_;
 };
 
 }  // namespace imr

@@ -44,6 +44,77 @@ TEST(Cluster, FailureSchedule) {
   EXPECT_FALSE(c->worker_failed(1, 100));  // revive clears the schedule
 }
 
+TEST(Cluster, FaultConsumedExactlyOnce) {
+  auto c = testutil::free_cluster();
+  c->schedule_fault({/*worker=*/2, FaultPoint::kMidShuffle,
+                     /*at_iteration=*/3});
+  EXPECT_EQ(c->pending_fault_count(), 1);
+
+  // Wrong worker / point / too-early iteration: not consumed.
+  EXPECT_FALSE(c->consume_fault(1, FaultPoint::kMidShuffle, 3));
+  EXPECT_FALSE(c->consume_fault(2, FaultPoint::kMidMap, 3));
+  EXPECT_FALSE(c->consume_fault(2, FaultPoint::kMidShuffle, 2));
+  EXPECT_EQ(c->consumed_fault_count(), 0);
+
+  // First matching probe consumes it; every later probe misses — the same
+  // scheduled failure can never trip twice (e.g. in a later job sharing the
+  // cluster).
+  EXPECT_TRUE(c->consume_fault(2, FaultPoint::kMidShuffle, 5));
+  EXPECT_FALSE(c->consume_fault(2, FaultPoint::kMidShuffle, 5));
+  EXPECT_FALSE(c->worker_failed(2, 100));
+  EXPECT_EQ(c->pending_fault_count(), 0);
+  EXPECT_EQ(c->consumed_fault_count(), 1);
+  EXPECT_EQ(c->metrics().count("faults_injected"), 1);
+  EXPECT_NO_THROW(c->assert_faults_consumed());
+}
+
+TEST(Cluster, AssertFaultsConsumedThrowsOnUnfiredEvent) {
+  auto c = testutil::free_cluster();
+  c->schedule_fault({0, FaultPoint::kCheckpointWrite, 2});
+  EXPECT_THROW(c->assert_faults_consumed(), Error);
+  EXPECT_TRUE(c->consume_fault(0, FaultPoint::kCheckpointWrite, 2));
+  EXPECT_NO_THROW(c->assert_faults_consumed());
+}
+
+TEST(Cluster, ReviveClearsPendingFaultsForThatWorkerOnly) {
+  auto c = testutil::free_cluster();
+  FaultSchedule schedule;
+  schedule.add(1, FaultPoint::kMidMap, 2).add(2, FaultPoint::kStatePush, 4);
+  c->set_fault_schedule(schedule);
+  EXPECT_EQ(c->pending_fault_count(), 2);
+  c->revive_worker(1);
+  EXPECT_EQ(c->pending_fault_count(), 1);
+  EXPECT_FALSE(c->consume_fault(1, FaultPoint::kMidMap, 99));
+  EXPECT_TRUE(c->consume_fault(2, FaultPoint::kStatePush, 4));
+}
+
+TEST(FaultScheduleRandom, DeterministicFromSeedAndInRange) {
+  FaultSchedule a = FaultSchedule::random(/*seed=*/42, /*num_workers=*/4,
+                                          /*max_iteration=*/6,
+                                          /*num_faults=*/3);
+  FaultSchedule b = FaultSchedule::random(42, 4, 6, 3);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(a.events()[n].worker, b.events()[n].worker);
+    EXPECT_EQ(a.events()[n].point, b.events()[n].point);
+    EXPECT_EQ(a.events()[n].at_iteration, b.events()[n].at_iteration);
+    EXPECT_GE(a.events()[n].worker, 0);
+    EXPECT_LT(a.events()[n].worker, 4);
+    EXPECT_GE(a.events()[n].at_iteration, 1);
+    EXPECT_LE(a.events()[n].at_iteration, 6);
+  }
+  FaultSchedule other = FaultSchedule::random(43, 4, 6, 3);
+  bool any_diff = false;
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    any_diff = any_diff ||
+               a.events()[n].worker != other.events()[n].worker ||
+               a.events()[n].point != other.events()[n].point ||
+               a.events()[n].at_iteration != other.events()[n].at_iteration;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
 TEST(TaskContext, ChargesFixedCosts) {
   auto c = testutil::free_cluster();
   TaskContext ctx(*c, "t", 0, 1000);

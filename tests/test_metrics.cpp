@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "metrics/invariants.h"
 #include "metrics/metrics.h"
 #include "metrics/table.h"
 
@@ -94,6 +95,104 @@ TEST(TextTable, CsvOutput) {
 TEST(TextTable, RejectsRaggedRows) {
   TextTable t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker
+// ---------------------------------------------------------------------------
+
+TEST(InvariantChecker, CleanStateHasNoViolations) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kShuffle, 100, true);
+  ChannelStats stats;
+  stats.attempts = 10;
+  stats.delivered = 8;
+  stats.dropped = 1;
+  stats.rejected = 1;
+  stats.received = 7;
+  stats.discarded = 1;
+  auto violations =
+      InvariantChecker(m).with_channel_stats(stats).check(InvariantExpectations{});
+  EXPECT_TRUE(violations.empty())
+      << ::testing::PrintToString(violations);
+}
+
+TEST(InvariantChecker, DetectsChannelLedgerImbalance) {
+  MetricsRegistry m;
+  ChannelStats stats;
+  stats.attempts = 10;
+  stats.delivered = 8;  // 2 attempts unaccounted for
+  auto violations = InvariantChecker(m).with_channel_stats(stats).check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("channel ledger"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsUnquiescedDeliveries) {
+  MetricsRegistry m;
+  ChannelStats stats;
+  stats.attempts = 5;
+  stats.delivered = 5;
+  stats.received = 3;  // 2 delivered messages vanished
+  EXPECT_FALSE(InvariantChecker(m).with_channel_stats(stats).check().empty());
+  InvariantExpectations mid_run;
+  mid_run.quiesced = false;
+  EXPECT_TRUE(
+      InvariantChecker(m).with_channel_stats(stats).check(mid_run).empty());
+}
+
+TEST(InvariantChecker, DetectsRemoteBytesOnStateChannel) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kReduceToMap, 64, /*remote=*/true);
+  auto violations = InvariantChecker(m).check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("co-located"), std::string::npos);
+  InvariantExpectations one2all;
+  one2all.colocated_state_channel = false;
+  EXPECT_TRUE(InvariantChecker(m).check(one2all).empty());
+}
+
+TEST(InvariantChecker, IterationLedgerAllowsOnlyStepsAndRollbackRestarts) {
+  MetricsRegistry m;
+  RunReport r;
+  for (int it : {1, 2, 3, 2, 3, 4}) {
+    IterationStat st;
+    st.iteration = it;
+    r.iterations.push_back(st);
+  }
+  r.iterations_run = 4;
+  r.rollback_iterations = {1};  // 3 -> 2 restarts after rollback to 1
+  EXPECT_TRUE(InvariantChecker(m).with_report(r).check().empty());
+
+  r.rollback_iterations.clear();  // same jump, no recorded rollback
+  auto violations = InvariantChecker(m).with_report(r).check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("rollback"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsMixedIterationPartFiles) {
+  MetricsRegistry m;
+  RunReport r;
+  IterationStat st;
+  st.iteration = 5;
+  r.iterations.push_back(st);
+  r.iterations_run = 5;
+  r.final_part_iterations = {5, 5, 4};  // one part lagged an iteration
+  auto violations = InvariantChecker(m).with_report(r).check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("part file"), std::string::npos);
+}
+
+TEST(InvariantChecker, RecoveryAccountingComparesReportAndMetrics) {
+  MetricsRegistry m;
+  m.inc("imr_recoveries");
+  RunReport r;
+  r.rollback_iterations = {2};
+  InvariantExpectations expect;
+  expect.expected_recoveries = 1;
+  EXPECT_TRUE(InvariantChecker(m).with_report(r).check(expect).empty());
+
+  expect.expected_recoveries = 2;  // claims a recovery that never happened
+  EXPECT_FALSE(InvariantChecker(m).with_report(r).check(expect).empty());
 }
 
 }  // namespace

@@ -123,6 +123,131 @@ TEST(Fabric, CloseUnblocksReceiver) {
   t.join();
 }
 
+TEST(Fabric, ChannelFaultsRetryUntilDelivered) {
+  auto cluster = testutil::free_cluster();
+  ChannelFaultConfig faults;
+  faults.drop_rate = 0.8;
+  faults.seed = 5;
+  faults.max_attempts = 6;
+  cluster->fabric().set_channel_faults(faults);
+
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  VClock sender;
+  for (int i = 0; i < 50; ++i) {
+    NetMessage m = data_msg({});
+    m.iteration = i;
+    cluster->fabric().send(1, sender, *ep, std::move(m),
+                           TrafficCategory::kShuffle);
+  }
+  // Every message arrives, in per-sender FIFO order, despite heavy drops.
+  VClock recv;
+  for (int i = 0; i < 50; ++i) {
+    auto m = ep->receive(recv);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->iteration, i);
+  }
+  ChannelStats s = cluster->fabric().channel_stats();
+  EXPECT_EQ(s.delivered, 50);
+  EXPECT_EQ(s.received, 50);
+  EXPECT_GT(s.dropped, 0);
+  EXPECT_EQ(s.attempts, s.delivered + s.dropped + s.rejected);
+  EXPECT_GT(cluster->metrics().count("net_retries"), 0);
+  EXPECT_EQ(cluster->metrics().count("net_dropped_sends"), s.dropped);
+}
+
+TEST(Fabric, DroppedAttemptsChargeRetryBackoffTime) {
+  auto send_many = [](double drop_rate) {
+    auto cluster = testutil::costed_cluster();
+    ChannelFaultConfig faults;
+    faults.drop_rate = drop_rate;
+    faults.seed = 11;
+    cluster->fabric().set_channel_faults(faults);
+    auto ep = cluster->fabric().create_endpoint("a", 0);
+    VClock sender;
+    KVVec payload;
+    payload.emplace_back(Bytes(8, 'k'), Bytes(10000, 'v'));
+    for (int i = 0; i < 20; ++i) {
+      cluster->fabric().send(1, sender, *ep, data_msg(payload),
+                             TrafficCategory::kShuffle);
+    }
+    return sender.now_ns();
+  };
+  // Retried sends pay the detection timeout + wasted wire time, so the
+  // faulty sender's clock runs later than the clean one's.
+  EXPECT_GT(send_many(0.7), send_many(0.0));
+}
+
+TEST(Fabric, RejectedPushToClosedMailboxStaysOnLedger) {
+  auto cluster = testutil::free_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  ep->close();
+  VClock sender;
+  cluster->fabric().send(1, sender, *ep, data_msg({}),
+                         TrafficCategory::kShuffle);
+  ChannelStats s = cluster->fabric().channel_stats();
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.delivered, 0);
+  EXPECT_EQ(s.attempts, s.delivered + s.dropped + s.rejected);
+}
+
+TEST(Fabric, ResetAndTeardownDeclareDiscards) {
+  auto cluster = testutil::free_cluster();
+  VClock sender;
+  {
+    auto ep = cluster->fabric().create_endpoint("a", 0);
+    for (int i = 0; i < 3; ++i) {
+      cluster->fabric().send(1, sender, *ep, data_msg({}),
+                             TrafficCategory::kShuffle);
+    }
+    ep->reset();  // rollback path: stale traffic dropped unread
+    cluster->fabric().send(1, sender, *ep, data_msg({}),
+                           TrafficCategory::kShuffle);
+    cluster->fabric().remove_endpoint("a");
+  }  // destructor path: one undrained message
+  ChannelStats s = cluster->fabric().channel_stats();
+  EXPECT_EQ(s.delivered, 4);
+  EXPECT_EQ(s.discarded, 4);
+  EXPECT_EQ(s.received, 0);
+  // Quiesced: delivered == received + discarded.
+  EXPECT_EQ(s.delivered, s.received + s.discarded);
+}
+
+TEST(Fabric, SendsFromDeadWorkersAreSuppressed) {
+  auto cluster = testutil::free_cluster();
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  cluster->mark_dead(1);
+  VClock sender;
+  cluster->fabric().send(1, sender, *ep, data_msg({}),
+                         TrafficCategory::kReduceToMap);
+  EXPECT_EQ(ep->pending(), 0u);  // the machine is gone; nothing hit the wire
+  EXPECT_EQ(sender.now_ns(), 0);
+  EXPECT_EQ(cluster->metrics().traffic_bytes(TrafficCategory::kReduceToMap),
+            0);
+  EXPECT_EQ(cluster->metrics().count("net_zombie_sends"), 1);
+  ChannelStats s = cluster->fabric().channel_stats();
+  EXPECT_EQ(s.dropped, 1);
+  EXPECT_EQ(s.attempts, s.delivered + s.dropped + s.rejected);
+
+  // Master control traffic (sender -1) is never suppressed.
+  VClock master;
+  cluster->fabric().send(-1, master, *ep, data_msg({}),
+                         TrafficCategory::kControl);
+  EXPECT_EQ(ep->pending(), 1u);
+}
+
+TEST(Fabric, ChannelFaultConfigValidated) {
+  auto cluster = testutil::free_cluster();
+  ChannelFaultConfig bad;
+  bad.drop_rate = 1.0;  // would retry forever
+  EXPECT_THROW(cluster->fabric().set_channel_faults(bad), Error);
+  bad.drop_rate = 0.5;
+  bad.max_attempts = 0;
+  EXPECT_THROW(cluster->fabric().set_channel_faults(bad), Error);
+  bad.max_attempts = 3;
+  bad.backoff_factor = 0.5;
+  EXPECT_THROW(cluster->fabric().set_channel_faults(bad), Error);
+}
+
 TEST(Fabric, HomeWorkerMigration) {
   auto cluster = testutil::costed_cluster();
   auto ep = cluster->fabric().create_endpoint("a", 0);

@@ -3,11 +3,17 @@
 // family. These are the broad invariants the whole reproduction rests on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "algorithms/jacobi.h"
+#include "algorithms/kmeans.h"
+#include "algorithms/matpower.h"
 #include "algorithms/pagerank.h"
 #include "algorithms/sssp.h"
 #include "graph/generator.h"
 #include "imapreduce/engine.h"
 #include "mapreduce/iterative_driver.h"
+#include "tests/chaos_harness.h"
 #include "tests/test_util.h"
 
 namespace imr {
@@ -75,6 +81,135 @@ TEST_P(RandomGraphSweep, PageRankTightAcrossEngines) {
   expect_near_vectors(
       expected, PageRank::read_result_imr(*cluster, "out", g.num_nodes()),
       1e-10);
+}
+
+// Every sweep case again, now with one seeded worker death injected at a
+// seed-chosen point and iteration — recovery must reproduce the exact
+// failure-free result on every configuration.
+TEST_P(RandomGraphSweep, SsspExactUnderInjectedWorkerFailure) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 250;
+  spec.seed = c.seed;
+  Graph g = generate_lognormal_graph(spec);
+  uint32_t source = static_cast<uint32_t>(c.seed % g.num_nodes());
+  Sssp::setup(*cluster, g, source, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 5);
+  conf.num_tasks = c.tasks;
+  conf.async_maps = c.async;
+  conf.checkpoint_every = 2;
+
+  // Only workers 0..min(tasks, workers)-1 are guaranteed to host a pair
+  // (pair i lives on worker i % workers), so pick the victim among those.
+  const FaultPoint points[] = {
+      FaultPoint::kIterationBoundary, FaultPoint::kMidMap,
+      FaultPoint::kMidShuffle, FaultPoint::kCheckpointWrite,
+      FaultPoint::kStatePush};
+  FaultSchedule schedule;
+  schedule.add(static_cast<int>(c.seed) % std::min(c.tasks, c.workers),
+               points[c.seed % 5], /*at_iteration=*/1 + (c.seed % 4));
+
+  InvariantExpectations expect;
+  expect.expected_recoveries = 1;
+  auto result =
+      chaos::run_chaos_job(*cluster, conf, schedule, ChannelFaultConfig{},
+                           expect);
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  chaos::expect_all_faults_consumed(*cluster);
+
+  expect_near_vectors(Sssp::reference(g, source, 5),
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      0.0);
+}
+
+// One2all (K-means, Jacobi) and multi-phase (matrix power) jobs cannot use
+// checkpoint rollback — the engine contract restricts worker-death recovery
+// to single-phase one2one jobs (IterJobConf::validate) — so their injected
+// failure is a seeded transient channel fault: every send may be dropped and
+// retried, and the run must still be lossless and exact.
+TEST_P(RandomGraphSweep, KMeansExactUnderChannelFaults) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  KMeansDataSpec dspec;
+  dspec.num_points = 500;
+  dspec.dim = 4;
+  dspec.seed = c.seed;
+  auto points = KMeans::generate_points(dspec);
+  KMeans::setup(*cluster, points, 5, "km");
+
+  IterJobConf conf = KMeans::imapreduce("km", "out", 3);
+  conf.num_tasks = c.tasks;
+
+  ChannelFaultConfig channel;
+  channel.drop_rate = 0.15;
+  channel.seed = c.seed;
+  auto result = chaos::run_chaos_job(*cluster, conf, FaultSchedule{}, channel);
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  EXPECT_GT(cluster->fabric().channel_stats().dropped, 0);
+
+  auto init = KMeans::read_result(*cluster, "km/centroids0", false);
+  auto expected = KMeans::reference(points, init, 3);
+  auto actual = KMeans::read_result(*cluster, "out", false);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [cid, centroid] : expected) {
+    ASSERT_TRUE(actual.count(cid));
+    for (std::size_t d = 0; d < centroid.size(); ++d) {
+      EXPECT_NEAR(centroid[d], actual[cid][d], 1e-9);
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, JacobiExactUnderChannelFaults) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  JacobiSystem sys = Jacobi::generate(150, 0.05, c.seed);
+  Jacobi::setup(*cluster, sys, "jac");
+
+  IterJobConf conf = Jacobi::imapreduce("jac", "out", 6);
+  conf.num_tasks = c.tasks;
+
+  ChannelFaultConfig channel;
+  channel.drop_rate = 0.15;
+  channel.seed = c.seed + 1;
+  auto result = chaos::run_chaos_job(*cluster, conf, FaultSchedule{}, channel);
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  EXPECT_GT(cluster->fabric().channel_stats().dropped, 0);
+
+  expect_near_vectors(Jacobi::reference(sys, 6),
+                      Jacobi::read_result(*cluster, "out", sys.n), 1e-10);
+}
+
+TEST_P(RandomGraphSweep, MatPowerExactUnderChannelFaults) {
+  const SweepCase c = GetParam();
+  auto cluster = testutil::free_cluster(c.workers, 4, 4);
+  Matrix m = MatPower::generate(20, c.seed);
+  MatPower::setup(*cluster, m, "mp");
+
+  IterJobConf conf = MatPower::imapreduce("mp", "out", 3);
+  conf.num_tasks = c.tasks;
+
+  ChannelFaultConfig channel;
+  channel.drop_rate = 0.15;
+  channel.seed = c.seed + 2;
+  auto result = chaos::run_chaos_job(*cluster, conf, FaultSchedule{}, channel);
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  EXPECT_GT(cluster->fabric().channel_stats().dropped, 0);
+
+  Matrix expected = MatPower::reference(m, 3);
+  Matrix actual = MatPower::read_result(*cluster, "out", m.n);
+  ASSERT_EQ(expected.n, actual.n);
+  for (uint32_t i = 0; i < m.n; ++i) {
+    for (uint32_t j = 0; j < m.n; ++j) {
+      EXPECT_NEAR(expected.at(i, j), actual.at(i, j), 1e-12)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
