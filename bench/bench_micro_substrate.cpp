@@ -6,6 +6,10 @@
 // assumes.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "cluster/cluster.h"
 #include "common/codec.h"
 #include "common/hash.h"
@@ -82,7 +86,7 @@ void BM_FabricSendReceive(benchmark::State& state) {
   }
   for (auto _ : state) {
     NetMessage msg;
-    msg.records = payload;
+    msg.set_records(payload);
     cluster.fabric().send(1, sender, *ep, std::move(msg),
                           TrafficCategory::kShuffle);
     auto got = ep->receive(receiver);
@@ -91,6 +95,100 @@ void BM_FabricSendReceive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FabricSendReceive)->Arg(1)->Arg(256);
+
+// Multi-threaded send throughput: N task threads hammering one fabric, each
+// into its own mailbox (the engine's shape: per-task endpoints, shared
+// fabric). This is the series that exposes per-send global locking — with
+// faults disarmed the hot path should touch no mutex besides the target
+// queue's own.
+struct MtSendEnv {
+  Cluster cluster;
+  std::vector<std::shared_ptr<Endpoint>> eps;
+
+  explicit MtSendEnv(double drop_rate) : cluster(free_config()) {
+    if (drop_rate > 0) {
+      ChannelFaultConfig faults;
+      faults.drop_rate = drop_rate;
+      faults.seed = 7;
+      cluster.fabric().set_channel_faults(faults);
+    }
+    for (int t = 0; t < 64; ++t) {
+      eps.push_back(cluster.fabric().create_endpoint(
+          "mt" + std::to_string(t), 0));
+    }
+  }
+
+  static ClusterConfig free_config() {
+    ClusterConfig cfg;
+    cfg.cost = CostModel::free();
+    return cfg;
+  }
+};
+
+void mt_send_loop(benchmark::State& state, MtSendEnv& env) {
+  Endpoint& ep =
+      *env.eps[static_cast<std::size_t>(state.thread_index()) % env.eps.size()];
+  KVVec payload;
+  for (int i = 0; i < 4; ++i) {
+    payload.emplace_back(u32_key(static_cast<uint32_t>(i)), f64_value(1.0));
+  }
+  VClock sender, receiver;
+  for (auto _ : state) {
+    NetMessage msg;
+    msg.set_records(payload);
+    env.cluster.fabric().send(1, sender, ep, std::move(msg),
+                              TrafficCategory::kShuffle);
+    auto got = ep.receive(receiver);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FabricSendMTDisarmed(benchmark::State& state) {
+  static MtSendEnv env(/*drop_rate=*/0.0);  // magic static: init-once, shared
+  mt_send_loop(state, env);
+}
+BENCHMARK(BM_FabricSendMTDisarmed)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_FabricSendMTArmed(benchmark::State& state) {
+  static MtSendEnv env(/*drop_rate=*/0.01);  // seeded slow path engaged
+  mt_send_loop(state, env);
+}
+BENCHMARK(BM_FabricSendMTArmed)->Threads(1)->Threads(4)->Threads(8);
+
+// Broadcast of one payload to T endpoints (the one2all reduce->map shape).
+// Guards the payload-copy behavior: time here is dominated by how many deep
+// copies of the records the fabric makes per broadcast.
+void BM_BroadcastPayload(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.cost = CostModel::free();
+  Cluster cluster(cfg);
+  const int T = static_cast<int>(state.range(0));
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  for (int t = 0; t < T; ++t) {
+    eps.push_back(cluster.fabric().create_endpoint("bc" + std::to_string(t),
+                                                   t % 2));
+  }
+  KVVec payload;
+  for (int i = 0; i < 1024; ++i) {
+    payload.emplace_back(u32_key(static_cast<uint32_t>(i)), f64_value(1.0));
+  }
+  VClock sender, receiver;
+  for (auto _ : state) {
+    NetMessage msg;
+    msg.set_records(payload);
+    cluster.fabric().broadcast(0, sender, eps, msg,
+                               TrafficCategory::kBroadcast);
+    for (auto& ep : eps) {
+      while (ep->pending() > 0) {
+        auto got = ep->receive(receiver);
+        benchmark::DoNotOptimize(got);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * T);
+}
+BENCHMARK(BM_BroadcastPayload)->Arg(4)->Arg(16);
 
 void BM_DfsWriteRead(benchmark::State& state) {
   ClusterConfig cfg;

@@ -47,6 +47,12 @@ class TaskContext {
   void send(Endpoint& to, NetMessage msg, TrafficCategory category) {
     cluster_.fabric().send(worker_, vt_, to, std::move(msg), category);
   }
+  // One payload to many mailboxes; the enqueued copies share msg's records
+  // buffer (each is still charged its full wire size).
+  void broadcast(const std::vector<std::shared_ptr<Endpoint>>& to,
+                 const NetMessage& msg, TrafficCategory category) {
+    cluster_.fabric().broadcast(worker_, vt_, to, msg, category);
+  }
 
   // DFS helpers that charge against this task's clock.
   KVVec dfs_read_all(const std::string& path) {

@@ -112,9 +112,6 @@ struct IterJobConf {
       throw ConfigError(
           "load balancing migrates from checkpoints; set checkpoint_every");
     }
-    if (aux && (checkpoint_every > 0 || load_balancing)) {
-      throw ConfigError("auxiliary phase not combinable with rollback");
-    }
     if (aux && (!aux->mapper || !aux->reducer)) {
       throw ConfigError("auxiliary phase missing mapper or reducer");
     }

@@ -176,6 +176,14 @@ class JobRun {
     std::lock_guard<std::mutex> lock(ep_mu_);
     return red_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
   }
+  std::shared_ptr<Endpoint> aux_map_ep(int a) {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    return aux_map_ep_[static_cast<std::size_t>(a)];
+  }
+  std::shared_ptr<Endpoint> aux_red_ep(int j) {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    return aux_red_ep_[static_cast<std::size_t>(j)];
+  }
   std::vector<std::shared_ptr<Endpoint>> all_endpoints() {
     std::lock_guard<std::mutex> lock(ep_mu_);
     std::vector<std::shared_ptr<Endpoint>> all;
@@ -185,6 +193,63 @@ class JobRun {
     all.insert(all.end(), aux_red_ep_.begin(), aux_red_ep_.end());
     return all;
   }
+
+  // Which endpoint row an EpRow caches.
+  enum class EpKind { kMap, kReduce, kAuxMap, kAuxReduce };
+
+  // Generation-stamped cache of one endpoint row ([task index] for a fixed
+  // phase). Task loops ship every flushed batch through a row; looking each
+  // endpoint up under ep_mu_ per batch serializes all senders on one global
+  // mutex. Instead the row is snapshotted once and re-snapshotted only after
+  // respawn_and_rollback swaps endpoints and bumps ep_epoch_. A send racing
+  // the swap can still land in an abandoned mailbox — exactly the race the
+  // per-send lookup already had (the pointer was fetched before the swap) —
+  // and is handled the same way: the receiver's generation check filters it,
+  // or teardown declares it a discard.
+  class EpRow {
+   public:
+    EpRow(JobRun& run, EpKind kind, int p = 0) : run_(run), kind_(kind), p_(p) {}
+
+    Endpoint& at(int i) {
+      refresh();
+      return *row_[static_cast<std::size_t>(i)];
+    }
+    const std::vector<std::shared_ptr<Endpoint>>& row() {
+      refresh();
+      return row_;
+    }
+
+   private:
+    void refresh() {
+      // Epoch is loaded before the snapshot: if a swap lands in between, the
+      // fresher row is stored under the older stamp and the next access
+      // simply refreshes again.
+      uint64_t epoch = run_.ep_epoch_.load(std::memory_order_acquire);
+      if (epoch == epoch_) return;
+      std::lock_guard<std::mutex> lock(run_.ep_mu_);
+      switch (kind_) {
+        case EpKind::kMap:
+          row_ = run_.map_ep_[static_cast<std::size_t>(p_)];
+          break;
+        case EpKind::kReduce:
+          row_ = run_.red_ep_[static_cast<std::size_t>(p_)];
+          break;
+        case EpKind::kAuxMap:
+          row_ = run_.aux_map_ep_;
+          break;
+        case EpKind::kAuxReduce:
+          row_ = run_.aux_red_ep_;
+          break;
+      }
+      epoch_ = epoch;
+    }
+
+    JobRun& run_;
+    EpKind kind_;
+    int p_;
+    uint64_t epoch_ = ~uint64_t{0};
+    std::vector<std::shared_ptr<Endpoint>> row_;
+  };
 
   // --- control helpers ---
   void master_send(VClock& mvt, Endpoint& to, const CtlMsg& ctl) {
@@ -229,7 +294,7 @@ class JobRun {
     msg.from_task = from;
     msg.iteration = iter;
     msg.generation = gen;
-    msg.records = std::move(records);
+    msg.set_records(std::move(records));
     ctx.send(to, std::move(msg), cat);
   }
   void send_eos(TaskContext& ctx, Endpoint& to, int from, int iter, int gen,
@@ -249,8 +314,14 @@ class JobRun {
                int worker, std::shared_ptr<Endpoint> ep);
   void run_reduce(int p, int i, int gen, int start_iter, int64_t start_vt,
                   int worker, std::shared_ptr<Endpoint> ep);
-  void run_aux_map(int j);
-  void run_aux_reduce(int j);
+  // Aux tasks are generation-aware like main tasks: after a rollback the
+  // main phase re-sends aux data under the bumped generation, so an aux task
+  // stuck at generation 0 would stash that data forever and convergence
+  // detection would silently stop firing.
+  void run_aux_map(int j, int gen, int start_iter,
+                   std::shared_ptr<Endpoint> ep);
+  void run_aux_reduce(int j, int gen, int start_iter,
+                      std::shared_ptr<Endpoint> ep);
   void master_loop(VClock& mvt);
 
   // --- spawning ---
@@ -319,6 +390,9 @@ class JobRun {
   std::vector<std::vector<std::shared_ptr<Endpoint>>> red_ep_;  // [p][i]
   std::vector<std::shared_ptr<Endpoint>> aux_map_ep_;           // [i]
   std::vector<std::shared_ptr<Endpoint>> aux_red_ep_;           // [j]
+  // Bumped (after the swap, under ep_mu_) whenever endpoints are replaced;
+  // EpRow caches re-snapshot when they observe a new epoch.
+  std::atomic<uint64_t> ep_epoch_{0};
 
   std::mutex assign_mu_;
   std::vector<int> pair_worker_;  // pair index -> worker
@@ -361,6 +435,8 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
 
   StashedInbox inbox(ep);
   TaskContext ctx(cluster_, map_ep_name(p, i), worker, start_vt);
+  EpRow red_row(*this, EpKind::kReduce, p);
+  EpRow aux_row(*this, EpKind::kAuxMap);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
   cluster_.metrics().inc("imr_persistent_map_tasks");
   IMR_DEBUG << tag_ << ": map " << p << "/" << i << " gen " << gen
@@ -439,7 +515,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
         buf = std::move(combined);
         ctx.charge_compute(cpu.elapsed_ns());
       }
-      send_batch(ctx, *red_ep(p, r), std::move(buf), i, iter, gen,
+      send_batch(ctx, red_row.at(r), std::move(buf), i, iter, gen,
                  TrafficCategory::kShuffle);
       buf = KVVec{};
     }
@@ -461,7 +537,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       return true;
     }
     for (int r = 0; r < T_; ++r) {
-      send_eos(ctx, *red_ep(p, r), i, iter, gen, TrafficCategory::kShuffle);
+      send_eos(ctx, red_row.at(r), i, iter, gen, TrafficCategory::kShuffle);
     }
     IMR_DEBUG << tag_ << ": map " << p << "/" << i << " shipped eos iter "
               << iter << " gen " << gen;
@@ -469,13 +545,11 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       for (int a = 0; a < num_aux; ++a) {
         KVVec& buf = emitter.aux_buffers()[static_cast<std::size_t>(a)];
         if (!buf.empty()) {
-          send_batch(ctx, *aux_map_ep_[static_cast<std::size_t>(a)],
-                     std::move(buf), i, iter, gen,
+          send_batch(ctx, aux_row.at(a), std::move(buf), i, iter, gen,
                      TrafficCategory::kShuffle);
           buf = KVVec{};
         }
-        send_eos(ctx, *aux_map_ep_[static_cast<std::size_t>(a)], i, iter, gen,
-                 TrafficCategory::kShuffle);
+        send_eos(ctx, aux_row.at(a), i, iter, gen, TrafficCategory::kShuffle);
       }
     }
     return false;
@@ -555,12 +629,14 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       }
       // Data batch for iteration k.
       if (one2all || (sync_gate && go_allowed < k)) {
-        stash.insert(stash.end(),
-                     std::make_move_iterator(msg->records.begin()),
-                     std::make_move_iterator(msg->records.end()));
+        KVVec batch = msg->take_records();
+        stash.insert(stash.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
       } else {
-        // Asynchronous eager processing (§3.3): join+map immediately.
-        process_one2one_batch(msg->records);
+        // Asynchronous eager processing (§3.3): join+map immediately. The
+        // records are only read, so the (possibly shared) payload is used
+        // in place.
+        process_one2one_batch(msg->records());
         flush_buffers(k, /*final_flush=*/false);
       }
     }
@@ -618,6 +694,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
 
   StashedInbox inbox(ep);
   TaskContext ctx(cluster_, red_ep_name(p, i), worker, start_vt);
+  EpRow next_maps(*this, EpKind::kMap, next_p);
+  EpRow aux_row(*this, EpKind::kAuxMap);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
   cluster_.metrics().inc("imr_persistent_reduce_tasks");
   IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
@@ -715,9 +793,14 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                   << " iter " << k << " eos " << eos_seen << "/" << T_
                   << " from " << msg->from_task;
       } else {
-        records.insert(records.end(),
-                       std::make_move_iterator(msg->records.begin()),
-                       std::make_move_iterator(msg->records.end()));
+        KVVec batch = msg->take_records();
+        if (records.empty()) {
+          records = std::move(batch);
+        } else {
+          records.insert(records.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+        }
       }
     }
 
@@ -773,12 +856,19 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                                     : TrafficCategory::kReduceToMap;
     auto ship_batch = [&](KVVec batch) {
       if (next_mapping == Mapping::kOne2All) {
-        for (int m = 0; m < T_; ++m) {
-          send_batch(ctx, *map_ep(next_p, m), batch, i, out_iter, gen, cat);
-        }
+        // One shared payload for all T map tasks: the fabric enqueues T
+        // handles to one records buffer (each charged its full wire size)
+        // instead of T deep copies.
+        NetMessage msg;
+        msg.kind = NetMessage::Kind::kData;
+        msg.from_task = i;
+        msg.iteration = out_iter;
+        msg.generation = gen;
+        msg.set_records(std::move(batch));
+        ctx.broadcast(next_maps.row(), msg, cat);
       } else {
-        send_batch(ctx, *map_ep(next_p, i), std::move(batch), i, out_iter,
-                   gen, cat);
+        send_batch(ctx, next_maps.at(i), std::move(batch), i, out_iter, gen,
+                   cat);
       }
     };
 
@@ -824,10 +914,10 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     if (!pending_batch.empty()) ship_batch(std::move(pending_batch));
     if (next_mapping == Mapping::kOne2All) {
       for (int m = 0; m < T_; ++m) {
-        send_eos(ctx, *map_ep(next_p, m), i, out_iter, gen, cat);
+        send_eos(ctx, next_maps.at(m), i, out_iter, gen, cat);
       }
     } else {
-      send_eos(ctx, *map_ep(next_p, i), i, out_iter, gen, cat);
+      send_eos(ctx, next_maps.at(i), i, out_iter, gen, cat);
     }
 
     // Checkpoint (§3.4.1) — written in parallel with the iteration, so it is
@@ -864,15 +954,16 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
 
     // Copy to a reduce-sourced auxiliary phase (§5.3).
     if (aux_from_reduce) {
-      TaskEmitter aux_emit(1, static_cast<int>(aux_map_ep_.size()));
+      const int num_aux = static_cast<int>(aux_row.row().size());
+      TaskEmitter aux_emit(1, num_aux);
       for (const KV& kv : output) aux_emit.side(kv.key, kv.value);
-      for (std::size_t a = 0; a < aux_map_ep_.size(); ++a) {
-        KVVec& buf = aux_emit.aux_buffers()[a];
+      for (int a = 0; a < num_aux; ++a) {
+        KVVec& buf = aux_emit.aux_buffers()[static_cast<std::size_t>(a)];
         if (!buf.empty()) {
-          send_batch(ctx, *aux_map_ep_[a], std::move(buf), i, k, gen,
+          send_batch(ctx, aux_row.at(a), std::move(buf), i, k, gen,
                      TrafficCategory::kShuffle);
         }
-        send_eos(ctx, *aux_map_ep_[a], i, k, gen, TrafficCategory::kShuffle);
+        send_eos(ctx, aux_row.at(a), i, k, gen, TrafficCategory::kShuffle);
       }
     }
 
@@ -909,11 +1000,12 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
 // Auxiliary phase tasks (§5.3)
 // ---------------------------------------------------------------------------
 
-void JobRun::run_aux_map(int j) {
-  std::shared_ptr<Endpoint> ep = aux_map_ep_[static_cast<std::size_t>(j)];
+void JobRun::run_aux_map(int j, int gen, int start_iter,
+                         std::shared_ptr<Endpoint> ep) {
   StashedInbox inbox(ep);
   TaskContext ctx(cluster_, tag_ + "/aux/m" + std::to_string(j),
-                  pair_worker(j % T_), 0);
+                  ep->home_worker(), 0);
+  EpRow red_row(*this, EpKind::kAuxReduce);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
 
   std::unique_ptr<IterMapper> mapper = conf_.aux->mapper();
@@ -921,17 +1013,24 @@ void JobRun::run_aux_map(int j) {
   TaskEmitter emitter(aux_reduces_, 0);
   static const Bytes kEmpty;
 
-  int k = 1;
+  int k = start_iter;
   while (true) {
     int eos_seen = 0;
-    bool terminated = false;
+    int rollback_to = -1;
+    LoopEvent event = LoopEvent::kIterationReady;
     while (eos_seen < T_) {
-      auto msg = inbox.next(ctx.vt(), 0, k);
+      auto msg = inbox.next(ctx.vt(), gen, k);
       if (!msg) return;
       if (msg->kind == NetMessage::Kind::kControl) {
         CtlMsg ctl = CtlMsg::decode(msg->control);
         if (ctl.type == CtlType::kTerminate || ctl.type == CtlType::kKill) {
-          terminated = true;
+          event = LoopEvent::kTerminate;
+          break;
+        }
+        if (ctl.type == CtlType::kRollback) {
+          gen = ctl.generation;
+          rollback_to = ctl.iteration;
+          event = LoopEvent::kRollback;
           break;
         }
         continue;
@@ -941,12 +1040,23 @@ void JobRun::run_aux_map(int j) {
         continue;
       }
       ThreadCpuTimer cpu;
-      for (const KV& kv : msg->records) {
+      for (const KV& kv : msg->records()) {
         mapper->map(kv.key, kv.value, kEmpty, emitter);
       }
       ctx.charge_compute(cpu.elapsed_ns());
     }
-    if (terminated) return;
+    if (event == LoopEvent::kTerminate) return;
+    if (event == LoopEvent::kRollback) {
+      // The main phase re-executes from the checkpoint and re-sends this
+      // data under the new generation. Drop the partially collected
+      // iteration — including whatever the eager mapper already absorbed —
+      // and resume where the main phase resumes.
+      mapper = conf_.aux->mapper();
+      mapper->configure(conf_.params);
+      emitter.clear();
+      k = rollback_to + 1;
+      continue;
+    }
     {
       ThreadCpuTimer cpu;
       mapper->flush(emitter);
@@ -955,39 +1065,45 @@ void JobRun::run_aux_map(int j) {
     for (int r = 0; r < aux_reduces_; ++r) {
       KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
       if (!buf.empty()) {
-        send_batch(ctx, *aux_red_ep_[static_cast<std::size_t>(r)],
-                   std::move(buf), j, k, 0, TrafficCategory::kShuffle);
+        send_batch(ctx, red_row.at(r), std::move(buf), j, k, gen,
+                   TrafficCategory::kShuffle);
         buf = KVVec{};
       }
-      send_eos(ctx, *aux_red_ep_[static_cast<std::size_t>(r)], j, k, 0,
-               TrafficCategory::kShuffle);
+      send_eos(ctx, red_row.at(r), j, k, gen, TrafficCategory::kShuffle);
     }
     ++k;
   }
 }
 
-void JobRun::run_aux_reduce(int j) {
-  std::shared_ptr<Endpoint> ep = aux_red_ep_[static_cast<std::size_t>(j)];
+void JobRun::run_aux_reduce(int j, int gen, int start_iter,
+                            std::shared_ptr<Endpoint> ep) {
   StashedInbox inbox(ep);
   TaskContext ctx(cluster_, tag_ + "/aux/r" + std::to_string(j),
-                  j % cluster_.num_workers(), 0);
+                  ep->home_worker(), 0);
   ctx.charge(cost_.task_init, TimeCategory::kTaskInit);
 
   std::unique_ptr<IterReducer> reducer = conf_.aux->reducer();
   reducer->configure(conf_.params);
 
-  int k = 1;
+  int k = start_iter;
   while (true) {
     KVVec records;
     int eos_seen = 0;
-    bool terminated = false;
+    int rollback_to = -1;
+    LoopEvent event = LoopEvent::kIterationReady;
     while (eos_seen < T_) {  // one aux map per pair
-      auto msg = inbox.next(ctx.vt(), 0, k);
+      auto msg = inbox.next(ctx.vt(), gen, k);
       if (!msg) return;
       if (msg->kind == NetMessage::Kind::kControl) {
         CtlMsg ctl = CtlMsg::decode(msg->control);
         if (ctl.type == CtlType::kTerminate || ctl.type == CtlType::kKill) {
-          terminated = true;
+          event = LoopEvent::kTerminate;
+          break;
+        }
+        if (ctl.type == CtlType::kRollback) {
+          gen = ctl.generation;
+          rollback_to = ctl.iteration;
+          event = LoopEvent::kRollback;
           break;
         }
         continue;
@@ -995,12 +1111,19 @@ void JobRun::run_aux_reduce(int j) {
       if (msg->kind == NetMessage::Kind::kEos) {
         ++eos_seen;
       } else {
+        KVVec batch = msg->take_records();
         records.insert(records.end(),
-                       std::make_move_iterator(msg->records.begin()),
-                       std::make_move_iterator(msg->records.end()));
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
       }
     }
-    if (terminated) return;
+    if (event == LoopEvent::kTerminate) return;
+    if (event == LoopEvent::kRollback) {
+      // Partial collections are dropped; the aux maps re-send everything
+      // from the rollback point under the new generation.
+      k = rollback_to + 1;
+      continue;
+    }
 
     ThreadCpuTimer cpu;
     sort_records(records, conf_.deterministic_reduce);
@@ -1018,6 +1141,7 @@ void JobRun::run_aux_reduce(int j) {
         sig.type = CtlType::kAuxSignal;
         sig.task = j;
         sig.iteration = k;
+        sig.generation = gen;
         task_send_ctl(ctx, sig);
         cluster_.metrics().inc("imr_aux_signals");
       }
@@ -1061,8 +1185,20 @@ void JobRun::master_loop(VClock& mvt) {
                                   const std::vector<int>& targets,
                                   int ckpt_iter) {
     ++generation;
+    const bool has_aux = conf_.aux.has_value();
+    // Aux reduces are not pair-homed; the ones stranded on a worker the
+    // master no longer trusts respawn on the recovery targets.
+    std::vector<int> moved_aux_reduces;
+    if (has_aux) {
+      for (int j = 0; j < aux_reduces_; ++j) {
+        if (!cluster_.worker_alive(aux_red_ep(j)->home_worker())) {
+          moved_aux_reduces.push_back(j);
+        }
+      }
+    }
     // Kill the old tasks of the moved pairs (their endpoints are about to be
-    // replaced; the kill lands in the old objects).
+    // replaced; the kill lands in the old objects). Aux maps are co-located
+    // with their pair and move with it.
     CtlMsg kill;
     kill.type = CtlType::kKill;
     kill.generation = generation;
@@ -1071,7 +1207,9 @@ void JobRun::master_loop(VClock& mvt) {
         master_send(mvt, *map_ep(p, idx), kill);
         master_send(mvt, *red_ep(p, idx), kill);
       }
+      if (has_aux) master_send(mvt, *aux_map_ep(idx), kill);
     }
+    for (int j : moved_aux_reduces) master_send(mvt, *aux_red_ep(j), kill);
     // Fresh endpoints homed on the new workers, then fresh pair threads.
     {
       std::lock_guard<std::mutex> lock(ep_mu_);
@@ -1084,13 +1222,42 @@ void JobRun::master_loop(VClock& mvt) {
           red_ep_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] =
               cluster_.fabric().create_endpoint(red_ep_name(p, idx), target);
         }
+        if (has_aux) {
+          aux_map_ep_[static_cast<std::size_t>(idx)] =
+              cluster_.fabric().create_endpoint(
+                  tag_ + "/aux/m" + std::to_string(idx), target);
+        }
       }
+      for (int j : moved_aux_reduces) {
+        aux_red_ep_[static_cast<std::size_t>(j)] =
+            cluster_.fabric().create_endpoint(
+                tag_ + "/aux/r" + std::to_string(j),
+                targets[static_cast<std::size_t>(j) % targets.size()]);
+      }
+      // Publish the swap to the EpRow caches.
+      ep_epoch_.fetch_add(1, std::memory_order_release);
     }
     for (std::size_t n = 0; n < pairs.size(); ++n) {
       set_pair_worker(pairs[n], targets[n]);
       spawn_pair(pairs[n], generation, ckpt_iter + 1, mvt.now_ns());
     }
-    // Roll every other pair back to the checkpoint (§3.4.2 step 3).
+    if (has_aux) {
+      for (int idx : pairs) {
+        auto aep = aux_map_ep(idx);
+        spawn([this, idx, aep, g = generation, s = ckpt_iter + 1] {
+          run_aux_map(idx, g, s, aep);
+        });
+      }
+      for (int j : moved_aux_reduces) {
+        auto aep = aux_red_ep(j);
+        spawn([this, j, aep, g = generation, s = ckpt_iter + 1] {
+          run_aux_reduce(j, g, s, aep);
+        });
+      }
+    }
+    // Roll every other pair back to the checkpoint (§3.4.2 step 3), and the
+    // surviving aux tasks with them — an aux task left at the old generation
+    // would stash the re-sent data forever and never signal again.
     CtlMsg rb;
     rb.type = CtlType::kRollback;
     rb.iteration = ckpt_iter;
@@ -1101,9 +1268,27 @@ void JobRun::master_loop(VClock& mvt) {
         master_send(mvt, *map_ep(p, idx), rb);
         master_send(mvt, *red_ep(p, idx), rb);
       }
+      if (has_aux) master_send(mvt, *aux_map_ep(idx), rb);
+    }
+    for (int j = 0; j < aux_reduces_; ++j) {
+      if (std::find(moved_aux_reduces.begin(), moved_aux_reduces.end(), j) !=
+          moved_aux_reduces.end()) {
+        continue;
+      }
+      master_send(mvt, *aux_red_ep(j), rb);
     }
     pending.clear();
     decided = ckpt_iter;
+    // A convergence verdict reached under the old generation is void: the
+    // rolled-back iterations will re-run and re-signal if still converged.
+    aux_stop_at = INT32_MAX;
+    // Iterations past the checkpoint will be re-reported under the new
+    // generation; keeping the first-run entries would leave duplicate (and
+    // non-monotonic) per-iteration stats in the report.
+    while (!report_.iterations.empty() &&
+           report_.iterations.back().iteration > ckpt_iter) {
+      report_.iterations.pop_back();
+    }
     report_.rollback_iterations.push_back(ckpt_iter);
   };
 
@@ -1127,6 +1312,9 @@ void JobRun::master_loop(VClock& mvt) {
         break;
       }
       case CtlType::kAuxSignal: {
+        // A signal computed from pre-rollback data must not stop the
+        // re-executed run.
+        if (ctl.generation != generation) break;
         // Terminate at the NEXT decision boundary, not immediately: the
         // Continue for iteration `decided` is already out, so reduce tasks
         // may legitimately be applying iteration decided+1 — stopping
@@ -1352,32 +1540,45 @@ RunReport JobRun::execute() {
 
   for (int i = 0; i < T_; ++i) spawn_pair(i, /*gen=*/0, /*start_iter=*/1, base_vt);
   for (int a = 0; a < aux_maps; ++a) {
-    spawn([this, a] { run_aux_map(a); });
+    auto aep = aux_map_ep(a);
+    spawn([this, a, aep] { run_aux_map(a, /*gen=*/0, /*start_iter=*/1, aep); });
   }
   for (int j = 0; j < aux_reduces_; ++j) {
-    spawn([this, j] { run_aux_reduce(j); });
+    auto aep = aux_red_ep(j);
+    spawn([this, j, aep] {
+      run_aux_reduce(j, /*gen=*/0, /*start_iter=*/1, aep);
+    });
   }
 
-  master_loop(mvt);
+  try {
+    master_loop(mvt);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
 
+  // Teardown runs unconditionally, errors or not: a failed job must not
+  // leave endpoints registered on the fabric or checkpoints in the DFS.
   // Make absolutely sure every task unblocks, then join.
   for (auto& ep : all_endpoints()) ep->close();
+  master_ep_->close();
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
     for (auto& t : threads_) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(error_mu_);
-    if (first_error_) std::rethrow_exception(first_error_);
   }
   for (auto& ep : all_endpoints()) {
     cluster_.fabric().remove_endpoint(ep->name());
   }
   cluster_.fabric().remove_endpoint(master_ep_->name());
 
-  // Checkpoints are recovery-scoped; a completed job garbage-collects its
-  // own (including any torn part a mid-write crash left behind).
+  // Checkpoints are recovery-scoped; a job garbage-collects its own
+  // (including any torn part a mid-write crash left behind).
   cluster_.dfs().remove_prefix("ckpt/" + tag_ + "/");
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
 
   report_.label = conf_.name + "/imapreduce";
   report_.total_wall_ms = static_cast<double>(std::max(final_vt_, mvt.now_ns())) / 1e6;

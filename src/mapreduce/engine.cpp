@@ -286,7 +286,7 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
         NetMessage msg;
         msg.kind = NetMessage::Kind::kData;
         msg.from_task = m;
-        msg.records = std::move(buf);
+        msg.set_records(std::move(buf));
         ctx.send(*reduce_ep[static_cast<std::size_t>(r)], std::move(msg),
                  TrafficCategory::kShuffle);
       }
@@ -313,9 +313,14 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
       if (msg->kind == NetMessage::Kind::kEos) {
         ++eos_seen;
       } else {
-        records.insert(records.end(),
-                       std::make_move_iterator(msg->records.begin()),
-                       std::make_move_iterator(msg->records.end()));
+        KVVec batch = msg->take_records();
+        if (records.empty()) {
+          records = std::move(batch);
+        } else {
+          records.insert(records.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+        }
       }
     }
 

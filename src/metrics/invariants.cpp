@@ -76,18 +76,16 @@ std::vector<std::string> InvariantChecker::check(
       }
     }
 
-    // 5. Iteration ledger: +1 steps, or a restart at rollback + 1.
+    // 5. Iteration ledger: strictly +1 steps. A rollback truncates the
+    // entries above the restored checkpoint before the re-run appends, so
+    // even a recovered run must read as one consecutive sequence —
+    // duplicated or regressing entries mean the truncation was skipped.
     for (std::size_t n = 1; n < r.iterations.size(); ++n) {
       int prev = r.iterations[n - 1].iteration;
       int cur = r.iterations[n].iteration;
-      if (cur == prev + 1) continue;
-      bool rollback_restart =
-          cur <= prev &&
-          std::find(r.rollback_iterations.begin(), r.rollback_iterations.end(),
-                    cur - 1) != r.rollback_iterations.end();
-      if (!rollback_restart) {
-        fail(strprintf("iteration ledger jumps %d -> %d without a matching "
-                       "rollback",
+      if (cur != prev + 1) {
+        fail(strprintf("iteration ledger jumps %d -> %d; entries must step "
+                       "by one even across rollbacks",
                        prev, cur));
       }
     }

@@ -1,6 +1,8 @@
 #include "metrics/metrics.h"
 
+#include <functional>
 #include <sstream>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -43,20 +45,38 @@ int64_t MetricsRegistry::total_bytes() const {
   return total;
 }
 
+MetricsRegistry::NamedShard& MetricsRegistry::shard_for_this_thread() const {
+  // The shard index is computed once per thread; every registry indexes its
+  // own shard array with it, so distinct registries stay independent.
+  static const thread_local std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      static_cast<std::size_t>(kNamedShards);
+  return named_shards_[idx];
+}
+
 void MetricsRegistry::inc(const std::string& name, int64_t by) {
-  std::lock_guard<std::mutex> lock(named_mu_);
-  named_[name] += by;
+  NamedShard& shard = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counts[name] += by;
 }
 
 int64_t MetricsRegistry::count(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(named_mu_);
-  auto it = named_.find(name);
-  return it == named_.end() ? 0 : it->second;
+  int64_t total = 0;
+  for (const NamedShard& shard : named_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.counts.find(name);
+    if (it != shard.counts.end()) total += it->second;
+  }
+  return total;
 }
 
 std::map<std::string, int64_t> MetricsRegistry::named_counters() const {
-  std::lock_guard<std::mutex> lock(named_mu_);
-  return named_;
+  std::map<std::string, int64_t> merged;
+  for (const NamedShard& shard : named_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, v] : shard.counts) merged[name] += v;
+  }
+  return merged;
 }
 
 std::string MetricsRegistry::report() const {
@@ -77,13 +97,11 @@ std::string MetricsRegistry::report() const {
     os << "  " << time_category_name(static_cast<TimeCategory>(i)) << ": "
        << fmt_double(static_cast<double>(ns) / 1e6, 2) << "\n";
   }
-  {
-    std::lock_guard<std::mutex> lock(named_mu_);
-    if (!named_.empty()) {
-      os << "counters:\n";
-      for (const auto& [name, v] : named_) {
-        os << "  " << name << ": " << v << "\n";
-      }
+  std::map<std::string, int64_t> named = named_counters();
+  if (!named.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, v] : named) {
+      os << "  " << name << ": " << v << "\n";
     }
   }
   return os.str();
@@ -96,8 +114,10 @@ void MetricsRegistry::reset() {
     t.transfers.store(0);
   }
   for (auto& t : times_) t.store(0);
-  std::lock_guard<std::mutex> lock(named_mu_);
-  named_.clear();
+  for (NamedShard& shard : named_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counts.clear();
+  }
 }
 
 void RunReport::capture(const MetricsRegistry& m) {

@@ -90,6 +90,10 @@ class MetricsRegistry {
   }
 
   // --- named counters (records emitted, iterations run, tasks launched...) ---
+  // Writes are striped: each thread increments its own shard (picked by
+  // thread id), so concurrent tasks never contend on one counter mutex.
+  // Reads (count / named_counters / report) merge the shards — they are the
+  // cold path, taken once per run by benches and the invariant checker.
   void inc(const std::string& name, int64_t by = 1);
   int64_t count(const std::string& name) const;
   std::map<std::string, int64_t> named_counters() const;
@@ -108,8 +112,15 @@ class MetricsRegistry {
   Traffic traffic_[kNumTrafficCategories];
   std::atomic<int64_t> times_[kNumTimeCategories] = {};
 
-  mutable std::mutex named_mu_;
-  std::map<std::string, int64_t> named_;
+  // One shard per stripe of threads; a thread always hits the same shard,
+  // so each shard's map sees a consistent, uncontended stream of updates.
+  static constexpr int kNamedShards = 16;
+  struct NamedShard {
+    mutable std::mutex mu;
+    std::map<std::string, int64_t> counts;
+  };
+  NamedShard& shard_for_this_thread() const;
+  mutable NamedShard named_shards_[kNamedShards];
 };
 
 // Per-iteration record of one engine run; engines append one entry per

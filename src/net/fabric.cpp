@@ -24,14 +24,22 @@ void Fabric::remove_endpoint(const std::string& name) {
   endpoints_.erase(name);
 }
 
+std::size_t Fabric::endpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.size();
+}
+
 void Fabric::set_channel_faults(const ChannelFaultConfig& config) {
   IMR_CHECK_MSG(config.drop_rate >= 0 && config.drop_rate < 1.0,
                 "drop_rate must be in [0, 1)");
   IMR_CHECK_MSG(config.max_attempts >= 1, "need at least one attempt");
   IMR_CHECK_MSG(config.backoff_factor >= 1.0, "backoff must not shrink");
-  std::lock_guard<std::mutex> lock(fault_mu_);
-  faults_ = config;
-  fault_rng_ = Rng(config.seed);
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    faults_ = config;
+    fault_rng_ = Rng(config.seed);
+  }
+  faults_armed_.store(config.drop_rate > 0, std::memory_order_release);
 }
 
 ChannelStats Fabric::channel_stats() const {
@@ -72,13 +80,16 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
   // permitted one; each drop pays the wasted wire time plus the detection
   // timeout, with bounded exponential backoff between retries. The dropped
   // bytes never count as delivered traffic — they live in the ledger and the
-  // named drop counters instead.
-  ChannelFaultConfig faults;
-  {
-    std::lock_guard<std::mutex> lock(fault_mu_);
-    faults = faults_;
-  }
-  if (faults.drop_rate > 0) {
+  // named drop counters instead. With faults disarmed (every production
+  // run), one relaxed load skips all of this — no lock, no config copy; the
+  // seeded slow path is byte-for-byte the old behavior, so chaos runs stay
+  // deterministic.
+  if (faults_armed_.load(std::memory_order_relaxed)) {
+    ChannelFaultConfig faults;
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      faults = faults_;
+    }
     SimDuration backoff = faults.retry_timeout;
     for (int attempt = 1; attempt < faults.max_attempts && draw_drop();
          ++attempt) {
@@ -115,8 +126,15 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
 void Fabric::broadcast(int sender_worker, VClock& vt,
                        const std::vector<std::shared_ptr<Endpoint>>& to,
                        const NetMessage& msg, TrafficCategory category) {
+  // With more than one destination the enqueued copies share msg's records
+  // buffer; mark them so take_records never mutates it (siblings may be
+  // reading concurrently). A single-destination "broadcast" keeps the
+  // point-to-point move semantics.
+  const bool fan_out = to.size() > 1;
   for (const auto& ep : to) {
-    send(sender_worker, vt, *ep, msg, category);
+    NetMessage copy = msg;
+    if (fan_out) copy.mark_payload_shared();
+    send(sender_worker, vt, *ep, std::move(copy), category);
   }
 }
 

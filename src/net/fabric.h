@@ -12,6 +12,13 @@
 // saving iMapReduce gets from co-locating each reduce task with its paired
 // map task (§3.2.1).
 //
+// Hot-path discipline: with channel faults disarmed (the common case), send()
+// takes no fabric-global lock — a single relaxed atomic load skips the fault
+// machinery, and the only mutex touched is the target mailbox's own queue.
+// Data payloads travel behind a shared handle, so broadcasting one batch to T
+// mailboxes enqueues T lightweight references to ONE records buffer instead
+// of T deep copies; byte accounting is per message and therefore unchanged.
+//
 // Channel faults: set_channel_faults arms a seeded per-attempt drop
 // probability. A dropped attempt charges the wasted wire time plus a
 // detection timeout, then retries under bounded exponential backoff; the
@@ -76,16 +83,75 @@ struct NetMessage {
   int iteration = 0;     // iterative protocols tag batches by iteration
   int generation = 0;    // job generation; receivers drop stale-generation
                          // data after a rollback (§3.4)
-  KVVec records;         // data payload
-  Bytes control;         // control payload
+  // Data payload, behind a shared handle: copying a NetMessage (broadcast
+  // fan-out) shares the one records buffer. null means "no records".
+  std::shared_ptr<KVVec> payload;
+  Bytes control;  // control payload
+
+  void set_records(KVVec records) {
+    payload = std::make_shared<KVVec>(std::move(records));
+  }
+
+  // Read-only view of the records (empty when there is no payload).
+  const KVVec& records() const {
+    static const KVVec kEmpty;
+    return payload ? *payload : kEmpty;
+  }
+
+  // Fabric::broadcast marks every fan-out copy it enqueues; take_records on
+  // a marked message must not mutate the buffer (siblings read it too).
+  void mark_payload_shared() { payload_shared_ = true; }
+  bool payload_shared() const { return payload_shared_; }
+
+  // Takes ownership of the records: moves them out in the point-to-point
+  // case, where this handle's chain of custody (sender -> queue -> receiver)
+  // is the only one that ever existed, and deep-copies for marked fan-out
+  // messages — sibling receivers may be reading the same buffer
+  // concurrently, so a shared buffer is never mutated. (The decision is the
+  // static mark, NOT use_count(): a relaxed count load does not synchronize
+  // with a sibling's release, so "count dropped to 1" cannot license a
+  // move.) Each deep copy is counted process-wide.
+  KVVec take_records() {
+    if (!payload) return {};
+    KVVec out;
+    if (payload_shared_) {
+      payload_deep_copies_.fetch_add(1, std::memory_order_relaxed);
+      out = *payload;
+    } else {
+      out = std::move(*payload);
+    }
+    payload.reset();
+    return out;
+  }
+
+  // Process-wide count of payload deep copies made by take_records() on
+  // still-shared payloads. Benches and tests snapshot it to assert that
+  // shipping one batch to T endpoints performs O(1) payload copies.
+  static int64_t payload_deep_copies() {
+    return payload_deep_copies_.load(std::memory_order_relaxed);
+  }
 
   std::size_t payload_bytes() const {
-    // 32 bytes of framing/header per message.
-    return wire_size(records) + control.size() + 32;
+    // 32 bytes of framing/header per message. Every message carrying a
+    // shared payload is charged the full payload size — sharing is a memory
+    // optimization, not a traffic one.
+    return (payload ? wire_size(*payload) : 0) + control.size() + 32;
   }
+
+ private:
+  bool payload_shared_ = false;
+  inline static std::atomic<int64_t> payload_deep_copies_{0};
 };
 
 // A mailbox. Created via Fabric so that delivery can be costed.
+//
+// An endpoint is pinned to its home worker for life. Tasks migrate between
+// workers (§3.4.2) by the master *recreating* their endpoints homed on the
+// target worker (respawn_and_rollback) — a mailbox is replaced, never moved,
+// and rollback does not flush surviving mailboxes either: the Rollback
+// control message shares the queue with data, so stale traffic is filtered
+// by the receiver's generation check and undrained leftovers are declared
+// discards at teardown.
 class Endpoint {
  public:
   Endpoint(std::string name, int home_worker,
@@ -103,9 +169,7 @@ class Endpoint {
   }
 
   const std::string& name() const { return name_; }
-  int home_worker() const { return home_worker_.load(); }
-  // Tasks migrate between workers (§3.4.2); their mailbox moves with them.
-  void set_home_worker(int w) { home_worker_.store(w); }
+  int home_worker() const { return home_worker_; }
 
   // Blocking receive; syncs `vt` to the message availability time.
   // Returns nullopt when the endpoint is closed and drained.
@@ -118,24 +182,7 @@ class Endpoint {
     return msg;
   }
 
-  std::optional<NetMessage> try_receive(VClock& vt) {
-    auto msg = queue_.try_pop();
-    if (msg) {
-      vt.sync_to(msg->vt_ready);
-      count_received();
-    }
-    return msg;
-  }
-
   void close() { queue_.close(); }
-  // Discard stale traffic and reopen (task rollback).
-  void reset() {
-    std::size_t discarded = queue_.reset();
-    if (ledger_ && discarded > 0) {
-      ledger_->discarded.fetch_add(static_cast<int64_t>(discarded),
-                                   std::memory_order_relaxed);
-    }
-  }
   std::size_t pending() const { return queue_.size(); }
 
  private:
@@ -146,7 +193,7 @@ class Endpoint {
   }
 
   std::string name_;
-  std::atomic<int> home_worker_;
+  const int home_worker_;
   std::shared_ptr<detail::ChannelLedger> ledger_;
   BlockingQueue<NetMessage> queue_;
 };
@@ -162,7 +209,10 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   // Arms (or, with drop_rate 0, disarms) transient channel faults for every
-  // subsequent send on this fabric.
+  // subsequent send on this fabric. Chaos runs arm faults before the job's
+  // threads start, so the armed flag is published to them by thread
+  // creation; the flag's own ordering can therefore stay relaxed on the
+  // send hot path.
   void set_channel_faults(const ChannelFaultConfig& config);
 
   // Installed once by the cluster before any task runs: packets from a worker
@@ -181,11 +231,14 @@ class Fabric {
   ChannelStats channel_stats() const;
 
   // Creates and registers an endpoint. Replaces any previous endpoint with
-  // the same name (engines re-create mailboxes between jobs).
+  // the same name (engines re-create mailboxes between jobs and on task
+  // migration).
   std::shared_ptr<Endpoint> create_endpoint(const std::string& name,
                                             int home_worker);
   std::shared_ptr<Endpoint> find(const std::string& name) const;
   void remove_endpoint(const std::string& name);
+  // Number of registered endpoints (leak checks in tests).
+  std::size_t endpoint_count() const;
 
   // Sends `msg` from a task homed on `sender_worker` whose clock is `vt`.
   // Charges the sender and stamps msg.vt_ready.
@@ -193,7 +246,8 @@ class Fabric {
             TrafficCategory category);
 
   // Convenience: send the same payload to many endpoints (reduce->map
-  // broadcast, §5.1). Each copy is charged separately.
+  // broadcast, §5.1). Each copy is charged separately, but all T enqueued
+  // messages share msg's one records buffer.
   void broadcast(int sender_worker, VClock& vt,
                  const std::vector<std::shared_ptr<Endpoint>>& to,
                  const NetMessage& msg, TrafficCategory category);
@@ -201,7 +255,8 @@ class Fabric {
  private:
   // True when this attempt is fault-dropped (seeded; serialized by a mutex —
   // the draw *order* across sender threads affects only which sends pay the
-  // retry penalty, never message contents or per-sender FIFO order).
+  // retry penalty, never message contents or per-sender FIFO order). Only
+  // reached when faults_armed_ is set.
   bool draw_drop();
 
   const CostModel& cost_;
@@ -211,6 +266,9 @@ class Fabric {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
 
+  // Fast-path flag: send() consults the fault config (and its mutex) only
+  // when armed. Disarmed sends — every production run — stay lock-free.
+  std::atomic<bool> faults_armed_{false};
   std::mutex fault_mu_;
   ChannelFaultConfig faults_;
   Rng fault_rng_;

@@ -190,6 +190,47 @@ TEST(ChaosRegression, CascadingFailureDuringRecovery) {
                       1e-12);
 }
 
+// A failure that strikes AFTER iterations beyond the last checkpoint were
+// decided: the rollback must truncate those per-iteration stats before the
+// re-run appends its own, leaving one strictly consecutive 1..N sequence.
+// (Without truncation the report reads 1,2,3,4,4,5,... — a duplicated entry
+// for every re-run iteration.)
+TEST(ChaosRegression, IterationStatsStayConsecutiveAfterRollback) {
+  auto cluster = testutil::free_cluster(4, 4, 4);
+  Graph g = make_sssp_graph("dblp", 0.002, 15);
+  Sssp::setup(*cluster, g, 0, "in");
+
+  IterJobConf conf = Sssp::imapreduce("in", "out", 8);
+  conf.checkpoint_every = 3;  // checkpoints at 3 and 6
+
+  FaultSchedule schedule;
+  // Dies entering iteration 5: iteration 4 is already decided and recorded,
+  // but the restored checkpoint is at most 3 — every entry above it must be
+  // dropped and re-earned. (The exact restore point is timing-dependent:
+  // checkpoints are written in parallel with the iteration, and a slow run
+  // — TSan — can fail before checkpoint 3 completes and restore 0 instead.
+  // Either way entries above the restore point exist and must go.)
+  schedule.add(/*worker=*/1, FaultPoint::kMidMap, /*at_iteration=*/5);
+
+  InvariantExpectations expect;
+  expect.expected_recoveries = 1;
+  auto result = run_chaos_job(*cluster, conf, schedule, ChannelFaultConfig{},
+                              expect);
+
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  ASSERT_EQ(result.report.rollback_iterations.size(), 1u);
+  EXPECT_LE(result.report.rollback_iterations[0], 3);
+  ASSERT_EQ(result.report.iterations.size(), 8u);
+  for (std::size_t n = 0; n < result.report.iterations.size(); ++n) {
+    EXPECT_EQ(result.report.iterations[n].iteration, static_cast<int>(n) + 1);
+  }
+  chaos::expect_all_faults_consumed(*cluster);
+  expect_near_vectors(Sssp::reference(g, 0, 8),
+                      Sssp::read_result_imr(*cluster, "out", g.num_nodes()),
+                      1e-12);
+}
+
 // Two independent worker deaths at different injection points.
 TEST(ChaosRegression, TwoIndependentFailuresAtDifferentPoints) {
   auto cluster = testutil::free_cluster(4, 4, 4);

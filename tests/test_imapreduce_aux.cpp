@@ -107,17 +107,76 @@ TEST(ImrAuxMore, AuxSignalOnFirstIterationStopsImmediately) {
   }
 }
 
-TEST(ImrAuxMore, AuxIncompatibleWithRollbackFeatures) {
+TEST(ImrAuxMore, AuxKeepsReceivingAcrossRollback) {
   auto cluster = testutil::free_cluster();
   Graph g = aux_graph(101);
   Sssp::setup(*cluster, g, 0, "sssp");
   CountingAux counting;
 
-  IterJobConf conf = Sssp::imapreduce("sssp", "out", 3);
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 5);
   conf.aux = counting.conf(AuxConf::Source::kReduceOutput);
   conf.checkpoint_every = 1;
+  cluster->schedule_fault({/*worker=*/1, FaultPoint::kIterationBoundary,
+                           /*at_iteration=*/2});
+
   IterativeEngine engine(*cluster);
-  EXPECT_THROW(engine.run(conf), ConfigError);
+  RunReport r = engine.run(conf);
+  cluster->assert_faults_consumed();
+  EXPECT_EQ(r.iterations_run, 5);
+  ASSERT_EQ(r.rollback_iterations.size(), 1u);
+  // After the rollback the main phase re-sends the aux copies under the
+  // bumped generation. A generation-unaware aux phase would stash that data
+  // forever and stop seeing records at the failure point; a generation-aware
+  // one sees at least one full copy of every decided iteration.
+  EXPECT_GE(counting.seen->load(),
+            static_cast<int64_t>(g.num_nodes()) * 5);
+  // The recovered output is still exact.
+  auto d = Sssp::read_result_imr(*cluster, "out", g.num_nodes());
+  auto expected = Sssp::reference(g, 0, 5);
+  testutil::expect_near_vectors(expected, d, 0.0);
+}
+
+TEST(ImrAuxMore, AuxSignalStillFiresAfterRecovery) {
+  auto cluster = testutil::free_cluster();
+  Graph g = aux_graph(107);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  // Distance-based stopping disabled: the aux signal is the ONLY way this
+  // job can converge before the 20-iteration cap.
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 20);
+  conf.checkpoint_every = 1;
+  auto seen = std::make_shared<std::atomic<int64_t>>(0);
+  const int64_t threshold = 4 * static_cast<int64_t>(g.num_nodes());
+  AuxConf aux;
+  aux.source = AuxConf::Source::kReduceOutput;
+  aux.mapper = make_iter_mapper(
+      [seen](const Bytes& key, const Bytes& value, const Bytes&,
+             IterEmitter& out) {
+        seen->fetch_add(1);
+        out.emit(key, value);
+      });
+  aux.reducer = make_iter_reducer(
+      [seen, threshold](const Bytes&, const std::vector<Bytes>&,
+                        IterEmitter& out) {
+        if (seen->load() >= threshold) {
+          out.emit(kTerminateSignalKey, Bytes("enough"));
+        }
+      });
+  aux.num_reduce_tasks = 1;
+  conf.aux = std::move(aux);
+  // The failure hits before the signal threshold can be reached, so the
+  // signal must come from a post-rollback aux generation.
+  cluster->schedule_fault({/*worker=*/1, FaultPoint::kIterationBoundary,
+                           /*at_iteration=*/2});
+
+  IterativeEngine engine(*cluster);
+  RunReport r = engine.run(conf);
+  cluster->assert_faults_consumed();
+  EXPECT_EQ(r.rollback_iterations.size(), 1u);
+  // A generation-stuck aux phase would never signal again and the run would
+  // grind to the cap unconverged.
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations_run, 20);
 }
 
 TEST(ImrAuxMore, AuxSlotsCountAgainstLimits) {

@@ -3,6 +3,10 @@
 // async/sync modes, and buffer sizes (parameterized property sweeps).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
 #include "algorithms/pagerank.h"
 #include "algorithms/sssp.h"
 #include "graph/generator.h"
@@ -204,6 +208,41 @@ TEST(ImrCore, RejectsInvalidConfigs) {
   IterJobConf bad_balance = Sssp::imapreduce("sssp", "out", 2);
   bad_balance.load_balancing = true;  // requires checkpointing
   EXPECT_THROW(engine.run(bad_balance), ConfigError);
+}
+
+// A job whose user code throws must still tear everything down: no endpoint
+// left registered on the fabric, no ckpt/ files left in the DFS. (The error
+// used to be rethrown before teardown, leaking both.)
+TEST(ImrCore, FailedJobLeaksNoEndpointsOrCheckpoints) {
+  auto cluster = testutil::free_cluster();
+  LogNormalGraphSpec gspec;
+  gspec.num_nodes = 300;
+  gspec.seed = 19;
+  Graph g = generate_lognormal_graph(gspec);
+  Sssp::setup(*cluster, g, 0, "sssp");
+
+  IterJobConf conf = Sssp::imapreduce("sssp", "out", 10);
+  conf.checkpoint_every = 1;
+  conf.num_tasks = 4;
+  // A pass-through mapper that dies partway into iteration 3 — late enough
+  // that checkpoints exist when the job aborts.
+  auto calls = std::make_shared<std::atomic<int64_t>>(0);
+  const int64_t limit = 2 * static_cast<int64_t>(g.num_nodes()) + 10;
+  conf.phases[0].mapper = make_iter_mapper(
+      [calls, limit](const Bytes& key, const Bytes& value, const Bytes&,
+                     IterEmitter& out) {
+        if (calls->fetch_add(1) >= limit) {
+          throw std::runtime_error("injected user-code failure");
+        }
+        out.emit(key, value);
+      });
+
+  const std::size_t eps_before = cluster->fabric().endpoint_count();
+  IterativeEngine engine(*cluster);
+  EXPECT_THROW(engine.run(conf), std::runtime_error);
+  EXPECT_EQ(cluster->fabric().endpoint_count(), eps_before);
+  EXPECT_GT(cluster->metrics().count("imr_checkpoints"), 0);
+  EXPECT_TRUE(cluster->dfs().list("ckpt/").empty());
 }
 
 }  // namespace

@@ -151,22 +151,31 @@ TEST(InvariantChecker, DetectsRemoteBytesOnStateChannel) {
   EXPECT_TRUE(InvariantChecker(m).check(one2all).empty());
 }
 
-TEST(InvariantChecker, IterationLedgerAllowsOnlyStepsAndRollbackRestarts) {
+TEST(InvariantChecker, IterationLedgerMustStepByOneEvenAcrossRollbacks) {
   MetricsRegistry m;
   RunReport r;
-  for (int it : {1, 2, 3, 2, 3, 4}) {
+  // A recovered run reads as one consecutive sequence: the engine truncates
+  // entries above the restored checkpoint before the re-run appends.
+  for (int it : {1, 2, 3, 4}) {
     IterationStat st;
     st.iteration = it;
     r.iterations.push_back(st);
   }
   r.iterations_run = 4;
-  r.rollback_iterations = {1};  // 3 -> 2 restarts after rollback to 1
+  r.rollback_iterations = {1};
   EXPECT_TRUE(InvariantChecker(m).with_report(r).check().empty());
 
-  r.rollback_iterations.clear();  // same jump, no recorded rollback
+  // Duplicated entries (3 -> 2 restart left in the ledger) mean the engine
+  // skipped the truncation — a violation even when a rollback is on record.
+  r.iterations.clear();
+  for (int it : {1, 2, 3, 2, 3, 4}) {
+    IterationStat st;
+    st.iteration = it;
+    r.iterations.push_back(st);
+  }
   auto violations = InvariantChecker(m).with_report(r).check();
   ASSERT_FALSE(violations.empty());
-  EXPECT_NE(violations[0].find("rollback"), std::string::npos);
+  EXPECT_NE(violations[0].find("step by one"), std::string::npos);
 }
 
 TEST(InvariantChecker, DetectsMixedIterationPartFiles) {

@@ -12,7 +12,7 @@ namespace {
 NetMessage data_msg(KVVec records) {
   NetMessage m;
   m.kind = NetMessage::Kind::kData;
-  m.records = std::move(records);
+  m.set_records(std::move(records));
   return m;
 }
 
@@ -190,7 +190,7 @@ TEST(Fabric, RejectedPushToClosedMailboxStaysOnLedger) {
   EXPECT_EQ(s.attempts, s.delivered + s.dropped + s.rejected);
 }
 
-TEST(Fabric, ResetAndTeardownDeclareDiscards) {
+TEST(Fabric, TeardownDeclaresUndrainedDiscards) {
   auto cluster = testutil::free_cluster();
   VClock sender;
   {
@@ -199,14 +199,11 @@ TEST(Fabric, ResetAndTeardownDeclareDiscards) {
       cluster->fabric().send(1, sender, *ep, data_msg({}),
                              TrafficCategory::kShuffle);
     }
-    ep->reset();  // rollback path: stale traffic dropped unread
-    cluster->fabric().send(1, sender, *ep, data_msg({}),
-                           TrafficCategory::kShuffle);
     cluster->fabric().remove_endpoint("a");
-  }  // destructor path: one undrained message
+  }  // last handle gone: the destructor declares every undrained message
   ChannelStats s = cluster->fabric().channel_stats();
-  EXPECT_EQ(s.delivered, 4);
-  EXPECT_EQ(s.discarded, 4);
+  EXPECT_EQ(s.delivered, 3);
+  EXPECT_EQ(s.discarded, 3);
   EXPECT_EQ(s.received, 0);
   // Quiesced: delivered == received + discarded.
   EXPECT_EQ(s.delivered, s.received + s.discarded);
@@ -248,7 +245,7 @@ TEST(Fabric, ChannelFaultConfigValidated) {
   EXPECT_THROW(cluster->fabric().set_channel_faults(bad), Error);
 }
 
-TEST(Fabric, HomeWorkerMigration) {
+TEST(Fabric, MigrationRecreatesEndpointOnNewHome) {
   auto cluster = testutil::costed_cluster();
   auto ep = cluster->fabric().create_endpoint("a", 0);
   KVVec payload;
@@ -256,11 +253,119 @@ TEST(Fabric, HomeWorkerMigration) {
   VClock s1;
   cluster->fabric().send(0, s1, *ep, data_msg(payload),
                          TrafficCategory::kShuffle);  // local
-  ep->set_home_worker(2);
+  // Task migration: an endpoint's home is fixed for life, so the master
+  // re-creates the mailbox under the same name homed on the target.
+  auto moved = cluster->fabric().create_endpoint("a", 2);
+  EXPECT_EQ(cluster->fabric().find("a"), moved);
+  EXPECT_EQ(moved->home_worker(), 2);
+  EXPECT_EQ(cluster->fabric().endpoint_count(), 1u);  // replaced, not added
   VClock s2;
-  cluster->fabric().send(0, s2, *ep, data_msg(payload),
+  cluster->fabric().send(0, s2, *moved, data_msg(payload),
                          TrafficCategory::kShuffle);  // now remote
   EXPECT_GT(s2.now_ns(), s1.now_ns());
+}
+
+TEST(Fabric, EndpointCountTracksCreateAndRemove) {
+  auto cluster = testutil::free_cluster();
+  EXPECT_EQ(cluster->fabric().endpoint_count(), 0u);
+  cluster->fabric().create_endpoint("a", 0);
+  cluster->fabric().create_endpoint("b", 1);
+  EXPECT_EQ(cluster->fabric().endpoint_count(), 2u);
+  cluster->fabric().remove_endpoint("a");
+  cluster->fabric().remove_endpoint("b");
+  EXPECT_EQ(cluster->fabric().endpoint_count(), 0u);
+}
+
+TEST(NetMessage, TakeRecordsMovesWhenSoleOwner) {
+  int64_t copies_before = NetMessage::payload_deep_copies();
+  KVVec records;
+  records.emplace_back(Bytes("k"), Bytes("v"));
+  NetMessage m = data_msg(std::move(records));
+  const KV* buffer = m.records().data();
+  KVVec out = m.take_records();
+  EXPECT_EQ(out.data(), buffer);  // moved out, not copied
+  EXPECT_TRUE(m.records().empty());
+  EXPECT_EQ(NetMessage::payload_deep_copies(), copies_before);
+}
+
+TEST(NetMessage, TakeRecordsCopiesWhenMarkedShared) {
+  int64_t copies_before = NetMessage::payload_deep_copies();
+  KVVec records;
+  records.emplace_back(Bytes("k"), Bytes("v"));
+  NetMessage a = data_msg(std::move(records));
+  NetMessage b = a;  // fan-out copy, as Fabric::broadcast makes
+  b.mark_payload_shared();
+  KVVec out = b.take_records();
+  EXPECT_EQ(NetMessage::payload_deep_copies(), copies_before + 1);
+  ASSERT_EQ(a.records().size(), 1u);  // the sibling's view is untouched
+  ASSERT_EQ(out.size(), 1u);
+  // a was never marked (the original in the sender's hands): taking moves.
+  const KV* buffer = a.records().data();
+  KVVec rest = a.take_records();
+  EXPECT_EQ(NetMessage::payload_deep_copies(), copies_before + 1);
+  EXPECT_EQ(rest.data(), buffer);
+}
+
+TEST(Fabric, BroadcastSharesOnePayloadBuffer) {
+  auto cluster = testutil::free_cluster();
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  for (int i = 0; i < 8; ++i) {
+    eps.push_back(cluster->fabric().create_endpoint("b" + std::to_string(i),
+                                                    i % 2));
+  }
+  KVVec payload;
+  for (int i = 0; i < 64; ++i) {
+    payload.emplace_back(Bytes(8, 'k'), Bytes(128, 'v'));
+  }
+  NetMessage msg = data_msg(std::move(payload));
+  const std::size_t per_msg_bytes = msg.payload_bytes();
+  const KVVec* shared_buffer = msg.payload.get();
+  int64_t copies_before = NetMessage::payload_deep_copies();
+  VClock sender;
+  cluster->fabric().broadcast(0, sender, eps, msg,
+                              TrafficCategory::kBroadcast);
+  // Enqueuing 8 messages made zero deep copies of the records...
+  EXPECT_EQ(NetMessage::payload_deep_copies(), copies_before);
+  // ...because every receiver holds a handle to the SAME buffer.
+  VClock recv;
+  for (auto& ep : eps) {
+    auto got = ep->receive(recv);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload.get(), shared_buffer);
+    EXPECT_EQ(got->records().size(), 64u);
+  }
+  // Byte accounting is per message, sharing notwithstanding.
+  EXPECT_EQ(cluster->metrics().traffic_transfers(TrafficCategory::kBroadcast),
+            8);
+  EXPECT_EQ(cluster->metrics().traffic_bytes(TrafficCategory::kBroadcast),
+            static_cast<int64_t>(8 * per_msg_bytes));
+}
+
+TEST(Fabric, DisarmedSendsSkipFaultMachinery) {
+  auto cluster = testutil::free_cluster();
+  ChannelFaultConfig faults;
+  faults.drop_rate = 0.9;
+  faults.seed = 3;
+  faults.max_attempts = 4;
+  cluster->fabric().set_channel_faults(faults);
+  auto ep = cluster->fabric().create_endpoint("a", 0);
+  VClock sender;
+  for (int i = 0; i < 20; ++i) {
+    cluster->fabric().send(1, sender, *ep, data_msg({}),
+                           TrafficCategory::kShuffle);
+  }
+  int64_t drops_armed = cluster->metrics().count("net_dropped_sends");
+  EXPECT_GT(drops_armed, 0);
+
+  // drop_rate 0 disarms: sends stop consulting the fault config entirely.
+  cluster->fabric().set_channel_faults(ChannelFaultConfig{});
+  for (int i = 0; i < 200; ++i) {
+    cluster->fabric().send(1, sender, *ep, data_msg({}),
+                           TrafficCategory::kShuffle);
+  }
+  EXPECT_EQ(cluster->metrics().count("net_dropped_sends"), drops_armed);
+  ChannelStats s = cluster->fabric().channel_stats();
+  EXPECT_EQ(s.attempts, s.delivered + s.dropped + s.rejected);
 }
 
 }  // namespace
