@@ -15,6 +15,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "mapreduce/shuffle_util.h"
+#include "metrics/trace.h"
 
 namespace imr {
 namespace {
@@ -206,6 +207,25 @@ void BM_DfsWriteRead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DfsWriteRead)->Arg(1024);
+
+// Tracing-overhead series. Disabled tracing is the default everywhere, so
+// BM_FabricSendMTDisarmed above IS the disabled-tracing baseline — its
+// numbers must not move when the trace probes are in the tree. This series
+// measures the armed recorder on the same send/receive loop: flow stamping,
+// ring writes, in-flight counters. Registered LAST: enable() is global and
+// sticky, and must not leak into the other series (benchmarks run in
+// registration order).
+void BM_FabricSendMTTraceEnabled(benchmark::State& state) {
+  // The lambda-initialized magic static doubles as a cross-thread barrier:
+  // no thread reaches the loop until tracing is armed.
+  static MtSendEnv& env = []() -> MtSendEnv& {
+    static MtSendEnv e(/*drop_rate=*/0.0);
+    TraceRecorder::instance().enable();
+    return e;
+  }();
+  mt_send_loop(state, env);
+}
+BENCHMARK(BM_FabricSendMTTraceEnabled)->Threads(1)->Threads(4)->Threads(8);
 
 }  // namespace
 }  // namespace imr

@@ -65,7 +65,23 @@ bool Cluster::fault_pending(int worker, FaultPoint point, int iteration) const {
                      });
 }
 
-bool Cluster::consume_fault(int worker, FaultPoint point, int iteration) {
+namespace {
+// Static-storage instant names for the trace (TraceEvent::name does not own).
+const char* fault_instant_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kIterationBoundary: return "fault:iteration_boundary";
+    case FaultPoint::kMidMap: return "fault:mid_map";
+    case FaultPoint::kMidShuffle: return "fault:mid_shuffle";
+    case FaultPoint::kCheckpointWrite: return "fault:checkpoint_write";
+    case FaultPoint::kStatePush: return "fault:state_push";
+    case FaultPoint::kMigration: return "fault:migration";
+  }
+  return "fault:?";
+}
+}  // namespace
+
+bool Cluster::consume_fault(int worker, FaultPoint point, int iteration,
+                            const VClock* vt) {
   check_worker(worker);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -83,6 +99,11 @@ bool Cluster::consume_fault(int worker, FaultPoint point, int iteration) {
   }
   metrics_.inc("faults_injected");
   metrics_.inc(std::string("faults_injected_") + fault_point_name(point));
+  if (TraceRecorder::enabled()) {
+    TraceRecorder::instance().instant(fault_instant_name(point),
+                                      vt != nullptr ? vt->now_ns() : 0,
+                                      iteration);
+  }
   return true;
 }
 

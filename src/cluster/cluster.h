@@ -77,8 +77,11 @@ class Cluster {
   // Consumes the first armed event matching (worker, point, >= at_iteration).
   // Returns true exactly once per armed event; the engine calls this at its
   // injection points. Consumed events also increment the metrics counters
-  // `faults_injected` and `faults_injected_<point>`.
-  bool consume_fault(int worker, FaultPoint point, int iteration);
+  // `faults_injected` and `faults_injected_<point>`, and — when tracing is
+  // enabled and the caller passes its clock — record a "fault:<point>"
+  // instant on the probing task's trace track.
+  bool consume_fault(int worker, FaultPoint point, int iteration,
+                     const VClock* vt = nullptr);
 
   int pending_fault_count() const;
   int64_t consumed_fault_count() const;

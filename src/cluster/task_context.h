@@ -6,18 +6,44 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/log.h"
 #include "common/sim_time.h"
+#include "metrics/trace.h"
 
 namespace imr {
 
 class TaskContext {
  public:
+  // Construction binds the calling thread's observability identity: log
+  // lines carry the task name, and (when tracing) the thread records onto
+  // this task's trace track inside a "task" lifecycle span. The previous
+  // track binding is restored at destruction, so a driver thread that runs
+  // nested task contexts (IterativeDriver) returns to its own timeline.
   TaskContext(Cluster& cluster, std::string task_name, int worker,
               int64_t start_vt_ns = 0)
       : cluster_(cluster),
         task_name_(std::move(task_name)),
         worker_(worker),
-        vt_(start_vt_ns) {}
+        vt_(start_vt_ns) {
+    set_thread_log_tag(task_name_);
+    if (TraceRecorder::enabled()) {
+      traced_ = true;
+      prev_track_ =
+          TraceRecorder::instance().begin_thread_track(task_name_, worker_);
+      TraceRecorder::instance().span_begin("task", vt_.now_ns());
+    }
+  }
+
+  ~TaskContext() {
+    if (traced_) {
+      TraceRecorder::instance().span_end("task", vt_.now_ns());
+      TraceRecorder::instance().set_thread_track(prev_track_);
+    }
+    clear_thread_log_tag();
+  }
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
 
   Cluster& cluster() { return cluster_; }
   const std::string& task_name() const { return task_name_; }
@@ -72,6 +98,8 @@ class TaskContext {
   std::string task_name_;
   int worker_;
   VClock vt_;
+  bool traced_ = false;
+  TraceRecorder::TrackHandle prev_track_ = nullptr;
 };
 
 }  // namespace imr

@@ -25,6 +25,19 @@ LogLevel initial_level() {
 std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
+// Small process-unique thread numbers, assigned lazily on first log — far
+// more readable across a run's interleaved output than pthread ids.
+std::atomic<int> g_thread_counter{0};
+thread_local int t_thread_id = -1;
+thread_local std::string t_log_tag;
+
+int this_thread_id() {
+  if (t_thread_id < 0) {
+    t_thread_id = g_thread_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -39,17 +52,37 @@ const char* level_name(LogLevel l) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_thread_log_tag(const std::string& tag) { t_log_tag = tag; }
+void clear_thread_log_tag() { t_log_tag.clear(); }
+
 namespace detail {
+std::string format_log_line(LogLevel level, const std::string& msg,
+                            int64_t mono_ms, int thread_id,
+                            const std::string& tag) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%10lld.%03lld %s t%02d",
+                static_cast<long long>(mono_ms / 1000),
+                static_cast<long long>(mono_ms % 1000), level_name(level),
+                thread_id);
+  std::string out = prefix;
+  if (!tag.empty()) {
+    out += ' ';
+    out += tag;
+  }
+  out += "] ";
+  out += msg;
+  return out;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   using namespace std::chrono;
   auto now = duration_cast<milliseconds>(
                  steady_clock::now().time_since_epoch())
                  .count();
+  std::string line =
+      format_log_line(level, msg, now, this_thread_id(), t_log_tag);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%10lld.%03lld %s] %s\n",
-               static_cast<long long>(now / 1000),
-               static_cast<long long>(now % 1000), level_name(level),
-               msg.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 }  // namespace detail
 

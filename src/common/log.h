@@ -1,9 +1,17 @@
 // Minimal leveled logger. Thread-safe, writes to stderr.
 //
+// Every line is prefixed with a monotonic timestamp, the level, and the
+// logging thread's identity: `[<sec>.<ms> LEVEL tNN tag] msg`, where NN is a
+// small process-unique thread number (assigned on a thread's first log) and
+// `tag` is the task name bound via set_thread_log_tag — so interleaved task
+// output from a run is attributable line by line. Untagged threads print
+// just `tNN`.
+//
 // The engines log task lifecycle events at DEBUG and job milestones at INFO;
 // benches set WARN to keep output clean.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -15,8 +23,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Binds/clears the calling thread's log tag (TaskContext binds the task
+// name for the task's lifetime).
+void set_thread_log_tag(const std::string& tag);
+void clear_thread_log_tag();
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
+// Pure formatter behind log_line, separated so the prefix layout is
+// testable: "[<sec>.<ms> LEVEL tNN tag] msg" (no trailing newline).
+std::string format_log_line(LogLevel level, const std::string& msg,
+                            int64_t mono_ms, int thread_id,
+                            const std::string& tag);
 
 class LogStream {
  public:

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/hash.h"
+#include "metrics/trace.h"
 
 namespace imr {
 
@@ -37,6 +38,12 @@ std::vector<int> MiniDfs::place_replicas(int writer_worker) {
 void MiniDfs::write_file(const std::string& path, KVVec records,
                          int writer_worker, VClock* vt,
                          TrafficCategory category) {
+  // Checkpoint dumps are the recovery-critical writes; give them their own
+  // span name so they stand out on the writer's trace track.
+  TraceSpan write_span(category == TrafficCategory::kCheckpoint
+                           ? "checkpoint_write"
+                           : "dfs_write",
+                       vt);
   // The whole write holds mu_: place_replicas draws from the shared rng_,
   // and part/checkpoint dumps run concurrently from many task threads.
   std::lock_guard<std::mutex> lock(mu_);
@@ -105,6 +112,7 @@ void MiniDfs::charge_read_block(const Block& b, std::size_t bytes, int reader,
 
 KVVec MiniDfs::read_all(const std::string& path, int reader_worker, VClock* vt,
                         TrafficCategory category) const {
+  TraceSpan read_span("dfs_read", vt);
   std::lock_guard<std::mutex> lock(mu_);
   const File& f = get_file_locked(path);
   for (const Block& b : f.blocks) {
@@ -115,6 +123,7 @@ KVVec MiniDfs::read_all(const std::string& path, int reader_worker, VClock* vt,
 
 KVVec MiniDfs::read_split(const InputSplit& split, int reader_worker,
                           VClock* vt, TrafficCategory category) const {
+  TraceSpan read_span("dfs_read", vt);
   std::lock_guard<std::mutex> lock(mu_);
   const File& f = get_file_locked(split.path);
   IMR_CHECK(split.end <= f.records.size() && split.begin <= split.end);
@@ -134,6 +143,7 @@ KVVec MiniDfs::read_split(const InputSplit& split, int reader_worker,
 KVVec MiniDfs::read_partition(const std::string& path, uint32_t index,
                               uint32_t num_partitions, int reader_worker,
                               VClock* vt, TrafficCategory category) const {
+  TraceSpan read_span("dfs_read", vt);
   std::lock_guard<std::mutex> lock(mu_);
   const File& f = get_file_locked(path);
   KVVec out;

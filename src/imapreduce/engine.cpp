@@ -528,11 +528,13 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       mapper->flush(emitter);
       ctx.charge_compute(cpu.elapsed_ns());
     }
+    TraceSpan flush_span("shuffle_flush", ctx.vt(), iter, gen);
     flush_buffers(iter, /*final_flush=*/true);
     // Injection point: died after flushing shuffle data but before any EOS —
     // every downstream reduce holds a partial iteration that only the
     // rollback's generation bump can clear.
-    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidShuffle, iter)) {
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidShuffle, iter,
+                               &ctx.vt())) {
       fail_task(ctx, i, iter, gen);
       return true;
     }
@@ -565,9 +567,11 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   }
 
   while (true) {
+    TraceSpan iter_span("map_iter", ctx.vt(), k, gen);
     // Injection point: died while working on iteration k, before its shuffle
     // output exists.
-    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidMap, k)) {
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidMap, k,
+                               &ctx.vt())) {
       fail_task(ctx, i, k, gen);
       return;
     }
@@ -649,6 +653,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
     if (event == LoopEvent::kRollback) {
       // Restart from the checkpoint (§3.4): stale queue contents are
       // filtered by generation; reload the state and resume.
+      TraceSpan rb_span("rollback", ctx.vt(), rollback_to, gen);
       IMR_DEBUG << tag_ << ": map " << p << "/" << i << " rollback to "
                 << rollback_to << " gen " << gen;
       emitter.clear();
@@ -706,7 +711,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
   // recovered) dies on startup — a failure during recovery itself, the
   // cascading case of §3.4.2.
   if (gen > 0 &&
-      cluster_.consume_fault(ctx.worker(), FaultPoint::kMigration, start_iter)) {
+      cluster_.consume_fault(ctx.worker(), FaultPoint::kMigration, start_iter,
+                             &ctx.vt())) {
     fail_task(ctx, i, start_iter, gen);
     return;
   }
@@ -744,6 +750,7 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
   int64_t prev_end_vt = ctx.vt().now_ns();
 
   while (true) {
+    TraceSpan iter_span("reduce_iter", ctx.vt(), k, gen);
     KVVec records;
     int eos_seen = 0;
     int rollback_to = -1;
@@ -824,6 +831,7 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       return;
     }
     if (event == LoopEvent::kRollback) {
+      TraceSpan rb_span("rollback", ctx.vt(), rollback_to, gen);
       IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " rollback to "
                 << rollback_to << " gen " << gen;
       k = rollback_to + 1;
@@ -839,9 +847,12 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     // would be useless for balancing — every reduce waits on the globally
     // slowest map, so wall times are nearly identical across workers.
     prev_end_vt = ctx.vt().now_ns();
-    ThreadCpuTimer sort_cpu;
-    sort_records(records, conf_.deterministic_reduce);
-    ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+    {
+      TraceSpan sort_span("sort", ctx.vt(), k, gen);
+      ThreadCpuTimer sort_cpu;
+      sort_records(records, conf_.deterministic_reduce);
+      ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+    }
 
     // Run the reduce function over the key groups, STREAMING the output to
     // the next phase's maps in buffer-sized batches as it is produced
@@ -907,7 +918,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     ctx.charge_compute(cpu.elapsed_ns());
     // Injection point: died mid reduce->map push — earlier batches of this
     // iteration are already out, the tail and all EOS markers are not.
-    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kStatePush, k)) {
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kStatePush, k,
+                               &ctx.vt())) {
       fail_task(ctx, i, k, gen);
       return;
     }
@@ -931,8 +943,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       // reports and so never advances last_ckpt to k — recovery always
       // restores the previous complete checkpoint, never this torn one
       // (§3.4.1 write-then-report ordering; pinned by a regression test).
-      if (cluster_.consume_fault(ctx.worker(), FaultPoint::kCheckpointWrite,
-                                 k)) {
+      if (cluster_.consume_fault(ctx.worker(), FaultPoint::kCheckpointWrite, k,
+                                 &ctx.vt())) {
         KVVec torn;
         torn.reserve(state_map.size() / 2);
         for (const auto& [key, value] : state_map) {
@@ -948,7 +960,13 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
         fail_task(ctx, i, k, gen);
         return;
       }
-      dump_state(ckpt_path(k), &parallel_clock, TrafficCategory::kCheckpoint);
+      {
+        // The span lives on the detached parallel clock, so its end ts can
+        // overrun the enclosing iteration span — nesting is by event order.
+        TraceSpan ckpt_span("checkpoint", parallel_clock, k, gen);
+        dump_state(ckpt_path(k), &parallel_clock,
+                   TrafficCategory::kCheckpoint);
+      }
       cluster_.metrics().inc("imr_checkpoints");
     }
 
@@ -971,8 +989,8 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     // boundary, after all of iteration k's work. Consuming the event (rather
     // than querying it) guarantees a scheduled failure trips exactly once —
     // a stale schedule can never leak into a later job on the same cluster.
-    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kIterationBoundary,
-                               k)) {
+    if (cluster_.consume_fault(ctx.worker(), FaultPoint::kIterationBoundary, k,
+                               &ctx.vt())) {
       fail_task(ctx, i, k, gen);
       return;
     }
@@ -1015,6 +1033,7 @@ void JobRun::run_aux_map(int j, int gen, int start_iter,
 
   int k = start_iter;
   while (true) {
+    TraceSpan iter_span("aux_map_iter", ctx.vt(), k, gen);
     int eos_seen = 0;
     int rollback_to = -1;
     LoopEvent event = LoopEvent::kIterationReady;
@@ -1087,6 +1106,7 @@ void JobRun::run_aux_reduce(int j, int gen, int start_iter,
 
   int k = start_iter;
   while (true) {
+    TraceSpan iter_span("aux_reduce_iter", ctx.vt(), k, gen);
     KVVec records;
     int eos_seen = 0;
     int rollback_to = -1;
@@ -1169,9 +1189,13 @@ void JobRun::master_loop(VClock& mvt) {
   std::set<int> dead_workers;
   bool terminating = false;
   int done_count = 0;
+  Histogram& iter_hist = cluster_.metrics().histogram("iteration_wall_us");
+  double last_decided_wall_ms = 0;
 
   auto broadcast_terminate = [&](int iter) {
     terminating = true;
+    TraceRecorder::instance().instant("terminate", mvt.now_ns(), iter,
+                                      generation);
     CtlMsg t;
     t.type = CtlType::kTerminate;
     t.iteration = iter;
@@ -1314,7 +1338,14 @@ void JobRun::master_loop(VClock& mvt) {
       case CtlType::kAuxSignal: {
         // A signal computed from pre-rollback data must not stop the
         // re-executed run.
-        if (ctl.generation != generation) break;
+        if (ctl.generation != generation) {
+          TraceRecorder::instance().instant("aux_signal_rejected",
+                                            mvt.now_ns(), ctl.iteration,
+                                            ctl.generation);
+          break;
+        }
+        TraceRecorder::instance().instant("aux_signal_accepted", mvt.now_ns(),
+                                          ctl.iteration, ctl.generation);
         // Terminate at the NEXT decision boundary, not immediately: the
         // Continue for iteration `decided` is already out, so reduce tasks
         // may legitimately be applying iteration decided+1 — stopping
@@ -1331,6 +1362,8 @@ void JobRun::master_loop(VClock& mvt) {
         dead_workers.insert(ctl.worker);
         cluster_.mark_dead(ctl.worker);
         cluster_.metrics().inc("imr_recoveries");
+        TraceRecorder::instance().instant("worker_failure", mvt.now_ns(),
+                                          ctl.iteration, generation);
         IMR_WARN << tag_ << ": worker " << ctl.worker
                  << " failed at iteration " << ctl.iteration
                  << "; rolling back to checkpoint " << last_ckpt;
@@ -1357,7 +1390,10 @@ void JobRun::master_loop(VClock& mvt) {
           targets.push_back(best->first);
           ++best->second;
         }
-        respawn_and_rollback(pairs, targets, last_ckpt);
+        {
+          TraceSpan recovery_span("recovery", mvt, last_ckpt, generation);
+          respawn_and_rollback(pairs, targets, last_ckpt);
+        }
         break;
       }
       case CtlType::kReport: {
@@ -1383,7 +1419,12 @@ void JobRun::master_loop(VClock& mvt) {
           st.wall_ms_end = mvt.now_ms();
           st.distance = done_iter.distance;
           report_.iterations.push_back(st);
+          iter_hist.record(static_cast<int64_t>(
+              (st.wall_ms_end - last_decided_wall_ms) * 1000.0));
+          last_decided_wall_ms = st.wall_ms_end;
         }
+        TraceRecorder::instance().instant("iteration_decided", mvt.now_ns(),
+                                          decided, generation);
         cluster_.metrics().inc("imr_iterations");
         IMR_INFO << tag_ << " iteration " << decided << " done at "
                  << mvt.now_ms() << " ms, distance " << done_iter.distance;
@@ -1461,7 +1502,10 @@ void JobRun::master_loop(VClock& mvt) {
                        << " (deviation " << dev << ")";
               cluster_.metrics().inc("imr_migrations");
               last_migration_iter = decided;
-              respawn_and_rollback({victim}, {fastest}, last_ckpt);
+              {
+                TraceSpan mig_span("migration", mvt, last_ckpt, generation);
+                respawn_and_rollback({victim}, {fastest}, last_ckpt);
+              }
               ++report_.migration_rollbacks;
             }
           }
@@ -1533,6 +1577,15 @@ RunReport JobRun::execute() {
 
   // One-time job initialization (§3.1).
   VClock mvt;
+  // The master thread's trace timeline for this job; the "job" span brackets
+  // everything from init to the post-join report.
+  TraceRecorder::TrackHandle prev_track = nullptr;
+  bool traced = TraceRecorder::enabled();
+  if (traced) {
+    prev_track =
+        TraceRecorder::instance().begin_thread_track(tag_ + "/master", -1);
+  }
+  TraceSpan job_span("job", mvt);
   mvt.advance(cost_.job_init);
   cluster_.metrics().add_time(TimeCategory::kJobInit, cost_.job_init);
   cluster_.metrics().inc("jobs_submitted");
@@ -1587,6 +1640,8 @@ RunReport JobRun::execute() {
   report_.iterations_run =
       report_.iterations.empty() ? 0 : report_.iterations.back().iteration;
   report_.capture(cluster_.metrics());
+  job_span.end();
+  if (traced) TraceRecorder::instance().set_thread_track(prev_track);
   return report_;
 }
 

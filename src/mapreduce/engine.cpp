@@ -92,6 +92,16 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
   MiniDfs& dfs = cluster_.dfs();
   const CostModel& cost = cluster_.cost();
 
+  // Each classic job gets its own trace timeline on the submitting thread;
+  // the previous binding (e.g. the iterative driver's track) is restored on
+  // exit. The "job" span runs submit -> end_vt, bracketing the task spans.
+  const bool traced = TraceRecorder::enabled();
+  TraceRecorder::TrackHandle prev_track = nullptr;
+  if (traced) {
+    prev_track = TraceRecorder::instance().begin_thread_track(job_tag, -1);
+    TraceRecorder::instance().span_begin("job", submit_vt_ns);
+  }
+
   // --- compute input splits, locality-annotated ---
   struct FileInput {
     std::string file;
@@ -270,6 +280,7 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
         conf.combiner ? conf.combiner() : nullptr;
     if (combiner) combiner->configure(conf.params);
 
+    TraceSpan flush_span("shuffle_flush", ctx.vt());
     for (int r = 0; r < num_reduces; ++r) {
       KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
       ThreadCpuTimer sort_cpu;
@@ -324,9 +335,12 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
       }
     }
 
-    ThreadCpuTimer sort_cpu;
-    sort_records(records, conf.deterministic_reduce);
-    ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+    {
+      TraceSpan sort_span("sort", ctx.vt());
+      ThreadCpuTimer sort_cpu;
+      sort_records(records, conf.deterministic_reduce);
+      ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+    }
 
     std::unique_ptr<Reducer> reducer = conf.reducer();
     reducer->configure(conf.params);
@@ -392,6 +406,10 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
   result.map_output_records = map_out.load();
   result.reduce_input_groups = red_groups.load();
   result.reduce_output_records = red_out.load();
+  if (traced) {
+    TraceRecorder::instance().span_end("job", result.end_vt_ns);
+    TraceRecorder::instance().set_thread_track(prev_track);
+  }
   return result;
 }
 

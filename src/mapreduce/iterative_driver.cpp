@@ -48,12 +48,25 @@ RunReport IterativeDriver::run(const IterativeSpec& spec) {
   report.label = spec.name + "/mapreduce";
   int64_t vt = 0;
   double cum_init_ms = 0;
+  // The driver thread's trace timeline. Label and pid deliberately match the
+  // per-iteration TaskContext below ("<name>-driver", worker 0) so those
+  // short-lived contexts collapse onto this one track instead of spawning a
+  // fresh track per iteration.
+  const bool traced = TraceRecorder::enabled();
+  TraceRecorder::TrackHandle prev_track = nullptr;
+  if (traced) {
+    prev_track =
+        TraceRecorder::instance().begin_thread_track(spec.name + "-driver", 0);
+  }
+  Histogram& iter_hist = cluster_.metrics().histogram("iteration_wall_us");
+  double prev_wall_ms = 0;
   // The iterated stream: previous iteration's final output (seeded by the
   // initial input or the initial state).
   std::string prev_output =
       spec.iterate_input ? spec.initial_input : spec.initial_state;
 
   for (int k = 1; k <= spec.max_iterations; ++k) {
+    if (traced) TraceRecorder::instance().span_begin("iteration", vt, k);
     double iter_init_ms = 0;
     std::string stage_input =
         spec.iterate_input ? prev_output : spec.initial_input;
@@ -150,6 +163,10 @@ RunReport IterativeDriver::run(const IterativeSpec& spec) {
     st.init_ms = iter_init_ms;
     report.iterations.push_back(st);
     report.iterations_run = k;
+    iter_hist.record(
+        static_cast<int64_t>((st.wall_ms_end - prev_wall_ms) * 1000.0));
+    prev_wall_ms = st.wall_ms_end;
+    if (traced) TraceRecorder::instance().span_end("iteration", vt);
 
     IMR_INFO << spec.name << " [MapReduce] iteration " << k << " done at "
              << st.wall_ms_end << " ms, distance " << st.distance;
@@ -185,6 +202,7 @@ RunReport IterativeDriver::run(const IterativeSpec& spec) {
   report.total_wall_ms = static_cast<double>(vt) / 1e6;
   report.init_wall_ms = cum_init_ms;
   report.capture(cluster_.metrics());
+  if (traced) TraceRecorder::instance().set_thread_track(prev_track);
   return report;
 }
 

@@ -21,6 +21,19 @@ const char* traffic_category_name(TrafficCategory c) {
   return "?";
 }
 
+const char* traffic_inflight_counter_name(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kShuffle: return "inflight_shuffle";
+    case TrafficCategory::kReduceToMap: return "inflight_reduce_to_map";
+    case TrafficCategory::kBroadcast: return "inflight_broadcast";
+    case TrafficCategory::kDfsRead: return "inflight_dfs_read";
+    case TrafficCategory::kDfsWrite: return "inflight_dfs_write";
+    case TrafficCategory::kCheckpoint: return "inflight_checkpoint";
+    case TrafficCategory::kControl: return "inflight_control";
+  }
+  return "inflight_?";
+}
+
 const char* time_category_name(TimeCategory c) {
   switch (c) {
     case TimeCategory::kJobInit: return "job_init";
@@ -31,6 +44,59 @@ const char* time_category_name(TimeCategory c) {
     case TimeCategory::kSort: return "sort";
   }
   return "?";
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  if (n == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the sample that the percentile falls on (1-based, ceil — the
+  // p-th percentile is the smallest value with >= p% of samples at or
+  // below it).
+  int64_t target = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (target < 1) target = 1;
+  int64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cum += counts[b];
+    if (cum >= target) {
+      if (b == 0) return 0;
+      // Midpoint of [2^(b-1), 2^b).
+      return 1.5 * static_cast<double>(bucket_lower(b));
+    }
+  }
+  return 1.5 * static_cast<double>(bucket_lower(kNumBuckets - 1));
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    int64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
 }
 
 int64_t MetricsRegistry::total_remote_bytes() const {
@@ -79,6 +145,20 @@ std::map<std::string, int64_t> MetricsRegistry::named_counters() const {
   return merged;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::map<std::string, const Histogram*> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  std::map<std::string, const Histogram*> out;
+  for (const auto& [name, h] : hists_) out[name] = h.get();
+  return out;
+}
+
 std::string MetricsRegistry::report() const {
   std::ostringstream os;
   os << "traffic (bytes total / remote / transfers):\n";
@@ -104,6 +184,22 @@ std::string MetricsRegistry::report() const {
       os << "  " << name << ": " << v << "\n";
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    bool any = false;
+    for (const auto& [name, h] : hists_) {
+      if (h->count() == 0) continue;
+      if (!any) {
+        os << "histograms (count / p50 / p90 / p99 / mean):\n";
+        any = true;
+      }
+      os << "  " << name << ": " << h->count() << " / "
+         << fmt_double(h->percentile(50), 1) << " / "
+         << fmt_double(h->percentile(90), 1) << " / "
+         << fmt_double(h->percentile(99), 1) << " / "
+         << fmt_double(h->mean(), 1) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -118,13 +214,28 @@ void MetricsRegistry::reset() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counts.clear();
   }
+  // Histogram ENTRIES survive a reset (hot call sites cache the pointers);
+  // only the recorded contents are cleared.
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  for (auto& [name, h] : hists_) h->reset();
 }
 
 void RunReport::capture(const MetricsRegistry& m) {
   total_comm_bytes = m.total_remote_bytes();
   shuffle_bytes = m.traffic_bytes(TrafficCategory::kShuffle);
+  reduce_to_map_bytes = m.traffic_bytes(TrafficCategory::kReduceToMap);
+  broadcast_bytes = m.traffic_bytes(TrafficCategory::kBroadcast);
+  checkpoint_bytes = m.traffic_bytes(TrafficCategory::kCheckpoint);
+  control_bytes = m.traffic_bytes(TrafficCategory::kControl);
   dfs_read_bytes = m.traffic_bytes(TrafficCategory::kDfsRead);
   dfs_write_bytes = m.traffic_bytes(TrafficCategory::kDfsWrite);
+  shuffle_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kShuffle);
+  reduce_to_map_remote_bytes =
+      m.traffic_remote_bytes(TrafficCategory::kReduceToMap);
+  broadcast_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kBroadcast);
+  checkpoint_remote_bytes =
+      m.traffic_remote_bytes(TrafficCategory::kCheckpoint);
+  control_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kControl);
   job_init_time = m.time(TimeCategory::kJobInit);
   task_init_time = m.time(TimeCategory::kTaskInit);
   network_time = m.time(TimeCategory::kNetwork);

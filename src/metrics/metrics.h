@@ -34,6 +34,9 @@ enum class TrafficCategory {
 };
 
 const char* traffic_category_name(TrafficCategory c);
+// Static-storage counter-track name for the per-category in-flight bytes
+// samples the fabric records into the TraceRecorder ("inflight_shuffle"...).
+const char* traffic_inflight_counter_name(TrafficCategory c);
 inline constexpr int kNumTrafficCategories = 7;
 
 // Categories of charged simulated time, used for the Fig. 10 factor
@@ -49,6 +52,46 @@ enum class TimeCategory {
 
 const char* time_category_name(TimeCategory c);
 inline constexpr int kNumTimeCategories = 6;
+
+// Lock-free log2-bucketed histogram of non-negative int64 samples (latency
+// nanoseconds, batch bytes, ...). record() is two relaxed atomic RMWs — no
+// mutex, no allocation — so it is safe on the fabric's send/receive hot
+// paths. Bucket b >= 1 covers [2^(b-1), 2^b); bucket 0 holds samples <= 0.
+// Percentiles come from a cumulative walk over the buckets, reporting the
+// bucket midpoint — exact to within a factor of ~1.5, which is what a
+// log-bucketed latency summary promises (see docs/OBSERVABILITY.md).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void record(int64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    if (v > 0) sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  int64_t count() const;
+  double mean() const;
+  // p in [0, 100]; returns 0 on an empty histogram.
+  double percentile(double p) const;
+  // Adds `other`'s buckets into this one (merging per-shard or per-run
+  // histograms); concurrent record()s on either side stay countable.
+  void merge(const Histogram& other);
+  void reset();
+
+  static int bucket_index(int64_t v) {
+    if (v <= 0) return 0;
+    int b = 0;
+    for (uint64_t u = static_cast<uint64_t>(v); u != 0; u >>= 1) ++b;
+    return b;  // highest set bit + 1; int64 max lands in bucket 63
+  }
+  static int64_t bucket_lower(int b) {
+    return b <= 0 ? 0 : int64_t{1} << (b - 1);
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
 
 class MetricsRegistry {
  public:
@@ -98,6 +141,13 @@ class MetricsRegistry {
   int64_t count(const std::string& name) const;
   std::map<std::string, int64_t> named_counters() const;
 
+  // --- histograms (latency/size distributions) ---
+  // Returns the named histogram, registering it on first use. The reference
+  // is stable for the registry's lifetime (reset() clears contents, never
+  // entries), so hot call sites cache the pointer and record lock-free.
+  Histogram& histogram(const std::string& name);
+  std::map<std::string, const Histogram*> histograms() const;
+
   // Render everything as a human-readable report.
   std::string report() const;
 
@@ -121,6 +171,10 @@ class MetricsRegistry {
   };
   NamedShard& shard_for_this_thread() const;
   mutable NamedShard named_shards_[kNamedShards];
+
+  // unique_ptr values keep Histogram references stable across rehashes.
+  mutable std::mutex hist_mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> hists_;
 };
 
 // Per-iteration record of one engine run; engines append one entry per
@@ -147,11 +201,24 @@ struct RunReport {
   std::vector<int> rollback_iterations;
   int migration_rollbacks = 0;
   std::vector<int> final_part_iterations;
-  // Snapshot of key totals at end of run.
+  // Snapshot of key totals at end of run. The per-category byte fields
+  // cover every category of the Fig. 11 communication decomposition, so the
+  // decomposition can be computed from a report alone, without a live
+  // registry; *_remote_bytes are the cross-worker slices (what the paper
+  // calls communication cost).
   int64_t total_comm_bytes = 0;    // all remote bytes
   int64_t shuffle_bytes = 0;
+  int64_t reduce_to_map_bytes = 0;
+  int64_t broadcast_bytes = 0;
+  int64_t checkpoint_bytes = 0;
+  int64_t control_bytes = 0;
   int64_t dfs_read_bytes = 0;
   int64_t dfs_write_bytes = 0;
+  int64_t shuffle_remote_bytes = 0;
+  int64_t reduce_to_map_remote_bytes = 0;
+  int64_t broadcast_remote_bytes = 0;
+  int64_t checkpoint_remote_bytes = 0;
+  int64_t control_remote_bytes = 0;
   SimDuration job_init_time{0};
   SimDuration task_init_time{0};
   SimDuration network_time{0};

@@ -1,0 +1,332 @@
+#include "metrics/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace imr {
+
+namespace {
+
+// A thread caches its bound track; the cache is valid only while the
+// recorder epoch matches (reset() frees track storage and bumps the epoch).
+thread_local TraceRecorder::TrackHandle t_track = nullptr;
+
+bool env_requests_tracing() {
+  const char* env = std::getenv("IMR_TRACE");
+  return env != nullptr && *env != '\0';
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Chrome trace-event "ts" is in microseconds; keep sub-microsecond detail.
+void append_ts_us(std::string& out, int64_t ts_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ts_ns) / 1e3);
+  out += buf;
+}
+
+}  // namespace
+
+std::atomic<bool> TraceRecorder::enabled_{env_requests_tracing()};
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(std::size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_capacity_ = ring_capacity == 0 ? kDefaultRingCapacity : ring_capacity;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_release);
+  // Tracks are retired, not freed: surviving threads still hold cached
+  // pointers and re-validate them by reading track->epoch, so the storage
+  // must stay alive. Only the rings are released.
+  for (auto& t : tracks_) {
+    t->ring.clear();
+    t->ring.shrink_to_fit();
+    retired_.push_back(std::move(t));
+  }
+  tracks_.clear();
+  for (auto& c : inflight_) c.store(0, std::memory_order_relaxed);
+}
+
+TraceRecorder::Track* TraceRecorder::new_track(const std::string& label,
+                                               int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.push_back(std::make_unique<Track>());
+  Track* t = tracks_.back().get();
+  t->label = label;
+  t->pid = pid;
+  t->epoch = epoch_.load(std::memory_order_acquire);
+  t->capacity = ring_capacity_;
+  t->ring.reserve(std::min<std::size_t>(ring_capacity_, 1024));
+  return t;
+}
+
+TraceRecorder::Track* TraceRecorder::current_track() {
+  Track* t = static_cast<Track*>(t_track);
+  if (t != nullptr && t->epoch == epoch_.load(std::memory_order_acquire)) {
+    return t;
+  }
+  t = new_track("thread", -1);
+  t_track = t;
+  return t;
+}
+
+TraceRecorder::TrackHandle TraceRecorder::begin_thread_track(
+    const std::string& label, int pid) {
+  Track* cur = static_cast<Track*>(t_track);
+  if (cur != nullptr && cur->epoch == epoch_.load(std::memory_order_acquire) &&
+      cur->pid == pid && cur->label == label) {
+    return cur;  // rebinding to the same timeline is a no-op
+  }
+  TrackHandle prev =
+      (cur != nullptr &&
+       cur->epoch == epoch_.load(std::memory_order_acquire))
+          ? cur
+          : nullptr;
+  t_track = new_track(label, pid);
+  return prev;
+}
+
+void TraceRecorder::set_thread_track(TrackHandle handle) {
+  t_track = handle;  // epoch re-checked at the next record
+}
+
+void TraceRecorder::span_begin(const char* name, int64_t ts_ns, int iter,
+                               int gen) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kSpanBegin;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.iter = iter;
+  e.gen = gen;
+  current_track()->record(e);
+}
+
+void TraceRecorder::span_end(const char* name, int64_t ts_ns) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kSpanEnd;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  current_track()->record(e);
+}
+
+void TraceRecorder::instant(const char* name, int64_t ts_ns, int iter,
+                            int gen) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kInstant;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.iter = iter;
+  e.gen = gen;
+  current_track()->record(e);
+}
+
+void TraceRecorder::flow_start(const char* name, uint64_t id, int64_t ts_ns,
+                               int iter, int gen) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kFlowStart;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.value = static_cast<int64_t>(id);
+  e.iter = iter;
+  e.gen = gen;
+  current_track()->record(e);
+}
+
+void TraceRecorder::flow_end(const char* name, uint64_t id, int64_t ts_ns,
+                             int iter, int gen) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kFlowEnd;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.value = static_cast<int64_t>(id);
+  e.iter = iter;
+  e.gen = gen;
+  current_track()->record(e);
+}
+
+void TraceRecorder::counter(const char* name, int64_t ts_ns, int64_t value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kCounter;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.value = value;
+  current_track()->record(e);
+}
+
+int64_t TraceRecorder::add_inflight(int category, int64_t delta) {
+  if (category < 0 || category >= 8) return 0;
+  return inflight_[category].fetch_add(delta, std::memory_order_relaxed) +
+         delta;
+}
+
+std::vector<TraceRecorder::TrackSnapshot> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TrackSnapshot> out;
+  out.reserve(tracks_.size());
+  for (const auto& t : tracks_) {
+    TrackSnapshot s;
+    s.label = t->label;
+    s.pid = t->pid;
+    s.dropped = t->dropped;
+    s.events.reserve(t->ring.size());
+    if (t->dropped == 0) {
+      s.events = t->ring;
+    } else {
+      // Wrapped ring: head points at the oldest surviving event.
+      for (std::size_t n = 0; n < t->ring.size(); ++n) {
+        s.events.push_back(t->ring[(t->head + n) % t->ring.size()]);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void TraceRecorder::export_chrome_json(std::ostream& os) const {
+  std::vector<TrackSnapshot> tracks = snapshot();
+
+  // Perfetto layout: the master/driver is process 0, worker W is process
+  // W+1; each track is one thread of its process.
+  auto json_pid = [](int pid) { return pid + 1; };
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  std::map<int, bool> pid_named;
+  int tid = 0;
+  for (const TrackSnapshot& t : tracks) {
+    ++tid;
+    const int pid = json_pid(t.pid);
+    char head[96];
+    if (!pid_named[pid]) {
+      pid_named[pid] = true;
+      std::string pname =
+          t.pid < 0 ? std::string("master")
+                    : "worker" + std::to_string(t.pid);
+      std::snprintf(head, sizeof(head),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"",
+                    pid);
+      std::string line = head;
+      json_escape(line, pname);
+      line += "\"}}";
+      emit(line);
+    }
+    std::snprintf(head, sizeof(head),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  pid, tid);
+    std::string line = head;
+    json_escape(line, t.label);
+    line += "\"}}";
+    emit(line);
+
+    for (const TraceEvent& e : t.events) {
+      std::string ev = "{\"name\":\"";
+      ev += e.name != nullptr ? e.name : "?";
+      ev += "\",\"pid\":";
+      ev += std::to_string(pid);
+      ev += ",\"tid\":";
+      ev += std::to_string(tid);
+      ev += ",\"ts\":";
+      append_ts_us(ev, e.ts_ns);
+      switch (e.type) {
+        case TraceEventType::kSpanBegin:
+          ev += ",\"cat\":\"task\",\"ph\":\"B\",\"args\":{\"iter\":";
+          ev += std::to_string(e.iter);
+          ev += ",\"gen\":";
+          ev += std::to_string(e.gen);
+          ev += "}}";
+          break;
+        case TraceEventType::kSpanEnd:
+          ev += ",\"cat\":\"task\",\"ph\":\"E\"}";
+          break;
+        case TraceEventType::kInstant:
+          ev += ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
+               "\"args\":{\"iter\":";
+          ev += std::to_string(e.iter);
+          ev += ",\"gen\":";
+          ev += std::to_string(e.gen);
+          ev += "}}";
+          break;
+        case TraceEventType::kFlowStart:
+        case TraceEventType::kFlowEnd:
+          ev += ",\"cat\":\"flow\",\"ph\":\"";
+          ev += e.type == TraceEventType::kFlowStart ? "s" : "f";
+          ev += "\"";
+          if (e.type == TraceEventType::kFlowEnd) ev += ",\"bp\":\"e\"";
+          ev += ",\"id\":";
+          ev += std::to_string(e.value);
+          ev += ",\"args\":{\"iter\":";
+          ev += std::to_string(e.iter);
+          ev += ",\"gen\":";
+          ev += std::to_string(e.gen);
+          ev += "}}";
+          break;
+        case TraceEventType::kCounter:
+          ev += ",\"ph\":\"C\",\"args\":{\"value\":";
+          ev += std::to_string(e.value);
+          ev += "}}";
+          break;
+      }
+      emit(ev);
+    }
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+bool TraceRecorder::export_to_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_chrome_json(os);
+  return os.good();
+}
+
+}  // namespace imr

@@ -1,0 +1,206 @@
+// TraceRecorder — always-on tracing substrate for the runtime.
+//
+// Typed events (spans, instants, flows, counter samples) are recorded into
+// per-track ring buffers behind a single relaxed-atomic gate, the same
+// pattern as Fabric::send's armed flag: with tracing disabled — the default —
+// every instrumentation site costs one predictable branch and nothing else,
+// so the probes can stay in the hot paths permanently. A track is one task's
+// (or the master's) timeline; each track has exactly one writer thread, so
+// recording takes no lock at all. When a ring fills, the oldest events are
+// overwritten and counted as dropped — tracing never blocks or allocates on
+// the steady-state path.
+//
+// Timestamps are VIRTUAL time (VClock nanoseconds), not wall time: the trace
+// visualizes the same discrete-event timeline the cost model computes, which
+// makes traces deterministic for a fixed seed and directly comparable to the
+// paper's simulated-seconds results. One caveat follows from the engine
+// itself: checkpoint dumps are charged on a detached parallel clock (§3.4.1),
+// so a checkpoint span can legitimately extend past the end timestamp of the
+// iteration span that contains it. Span nesting is therefore defined by
+// event ORDER within a track (strict begin/end stack discipline), not by
+// timestamp containment.
+//
+// Export is Chrome trace-event JSON: load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Tracks map to threads, with
+// the master as process 0 and worker W as process W+1; flow arrows connect
+// each Fabric send to its receive. See docs/OBSERVABILITY.md for the event
+// taxonomy.
+//
+// Enabling: programmatically via enable()/disable(), or by setting the
+// IMR_TRACE environment variable (its value is the export path convention
+// used by imr_run and the chaos harness; any non-empty value arms the gate
+// at process start).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace imr {
+
+enum class TraceEventType : uint8_t {
+  kSpanBegin,   // ph "B"
+  kSpanEnd,     // ph "E"
+  kInstant,     // ph "i"
+  kFlowStart,   // ph "s"  (value = flow id)
+  kFlowEnd,     // ph "f"  (value = flow id)
+  kCounter,     // ph "C"  (value = sample)
+};
+
+// One fixed-size trace record. `name` must point at a string with static
+// storage duration — the event taxonomy is a closed set of literals (plus
+// the category names from metrics.cpp); dynamic strings appear only in track
+// labels, which are registered once per task.
+struct TraceEvent {
+  int64_t ts_ns = 0;            // virtual-time timestamp
+  int64_t value = 0;            // flow id (kFlow*) or sample (kCounter)
+  const char* name = nullptr;
+  int32_t iter = 0;             // iteration argument (0 = n/a)
+  int32_t gen = 0;              // generation argument
+  TraceEventType type = TraceEventType::kInstant;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  // The hot-path gate: one relaxed load. Instrumentation sites check this
+  // before doing any work (building names, reading clocks, ...).
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  // Arms the gate. `ring_capacity` applies to tracks registered afterwards.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  void disable();
+  // Drops all recorded tracks and invalidates every thread's cached track.
+  // Requires quiescence: no thread may be mid-record (call it between runs,
+  // with the engine's threads joined).
+  void reset();
+
+  // Binds the calling thread to a track. If the thread's current track
+  // already has this label and pid it is reused (repeated short-lived
+  // driver contexts collapse onto one timeline); otherwise a fresh track is
+  // registered — so a respawned task gets its own timeline, distinct from
+  // the zombie it replaces even when the label matches. Returns the
+  // previous binding; restore it with set_thread_track when the caller's
+  // timeline (e.g. a driver loop) continues after a nested job finishes.
+  // `pid` is the home worker (-1 = master/driver).
+  using TrackHandle = void*;
+  TrackHandle begin_thread_track(const std::string& label, int pid);
+  void set_thread_track(TrackHandle handle);
+
+  void span_begin(const char* name, int64_t ts_ns, int iter = 0, int gen = 0);
+  void span_end(const char* name, int64_t ts_ns);
+  void instant(const char* name, int64_t ts_ns, int iter = 0, int gen = 0);
+  void flow_start(const char* name, uint64_t id, int64_t ts_ns, int iter = 0,
+                  int gen = 0);
+  void flow_end(const char* name, uint64_t id, int64_t ts_ns, int iter = 0,
+                int gen = 0);
+  void counter(const char* name, int64_t ts_ns, int64_t value);
+
+  // Process-unique id linking one send event to its receive event.
+  uint64_t next_flow_id() {
+    return flow_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Running in-flight byte total per TrafficCategory (sender adds, receiver
+  // subtracts); returns the post-update value for counter sampling.
+  int64_t add_inflight(int category, int64_t delta);
+
+  struct TrackSnapshot {
+    std::string label;
+    int pid = -1;
+    int64_t dropped = 0;            // events overwritten by ring wrap
+    std::vector<TraceEvent> events; // oldest first
+  };
+  // Copies all tracks. Like reset(), requires writer quiescence.
+  std::vector<TrackSnapshot> snapshot() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}) — Perfetto-loadable.
+  void export_chrome_json(std::ostream& os) const;
+  bool export_to_file(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 15;
+
+ private:
+  struct Track {
+    std::string label;
+    int pid = -1;
+    uint64_t epoch = 0;        // recorder epoch at registration
+    std::size_t capacity = 0;
+    std::vector<TraceEvent> ring;  // grows to capacity, then wraps
+    std::size_t head = 0;          // index of the oldest event once wrapped
+    int64_t dropped = 0;
+
+    void record(const TraceEvent& e) {
+      if (ring.size() < capacity) {
+        ring.push_back(e);
+        return;
+      }
+      ring[head] = e;
+      head = (head + 1) % capacity;
+      ++dropped;
+    }
+  };
+
+  TraceRecorder() = default;
+  // Returns the calling thread's track, auto-registering an anonymous one
+  // ("thread", pid -1) for threads that record before binding a track.
+  Track* current_track();
+  Track* new_track(const std::string& label, int pid);
+
+  static std::atomic<bool> enabled_;  // seeded from IMR_TRACE (trace.cpp)
+  std::atomic<uint64_t> flow_ids_{1};
+  std::atomic<int64_t> inflight_[8] = {};
+  // Bumped by reset(); a thread-cached Track whose epoch is stale is
+  // abandoned (its storage was freed), never written.
+  std::atomic<uint64_t> epoch_{1};
+  mutable std::mutex mu_;  // guards tracks_ registration and ring_capacity_
+  std::deque<std::unique_ptr<Track>> tracks_;
+  // Tracks dropped by reset(). Kept (rings cleared) so that thread-cached
+  // pointers into them stay dereferenceable for the epoch check.
+  std::deque<std::unique_ptr<Track>> retired_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+};
+
+// RAII span on a task's virtual clock: begins at construction, ends at
+// destruction (or an early end()), reading the clock at each point. All
+// gating happens at construction — a span built while tracing is disabled
+// records nothing, even if tracing is enabled before it dies.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const VClock& vt, int iter = 0, int gen = 0) {
+    if (TraceRecorder::enabled()) begin(name, &vt, iter, gen);
+  }
+  // Pointer form for call sites with an optional clock (DFS helpers).
+  TraceSpan(const char* name, const VClock* vt, int iter = 0, int gen = 0) {
+    if (vt != nullptr && TraceRecorder::enabled()) begin(name, vt, iter, gen);
+  }
+  ~TraceSpan() { end(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void end() {
+    if (vt_ == nullptr) return;
+    TraceRecorder::instance().span_end(name_, vt_->now_ns());
+    vt_ = nullptr;
+  }
+
+ private:
+  void begin(const char* name, const VClock* vt, int iter, int gen) {
+    vt_ = vt;
+    name_ = name;
+    TraceRecorder::instance().span_begin(name, vt->now_ns(), iter, gen);
+  }
+
+  const VClock* vt_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+}  // namespace imr

@@ -6,7 +6,8 @@ namespace imr {
 
 std::shared_ptr<Endpoint> Fabric::create_endpoint(const std::string& name,
                                                   int home_worker) {
-  auto ep = std::make_shared<Endpoint>(name, home_worker, ledger_);
+  auto ep =
+      std::make_shared<Endpoint>(name, home_worker, ledger_, queue_wait_hist_);
   std::lock_guard<std::mutex> lock(mu_);
   endpoints_[name] = ep;
   return ep;
@@ -112,10 +113,37 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
   metrics_.add_time(TimeCategory::kNetwork, ser + latency);
   metrics_.add_traffic(category, bytes, /*remote=*/!local);
 
+  // Stamp the flow id before the message is moved into the queue; the start
+  // event is recorded only AFTER a successful push, so a rejected send never
+  // draws an arrow (a flow_start whose message is later discarded unread is
+  // legal — Perfetto renders it as an arrow to nowhere). The batch-size
+  // histogram shares the gate: per-message distribution sampling is part of
+  // the tracing substrate's cost budget, not the untraced send's.
+  const bool traced = TraceRecorder::enabled();
+  uint64_t flow = 0;
+  int msg_iter = 0, msg_gen = 0;
+  if (traced) {
+    batch_bytes_hist_->record(static_cast<int64_t>(bytes));
+    flow = TraceRecorder::instance().next_flow_id();
+    msg.trace_flow = flow;
+    msg.trace_cat = static_cast<uint8_t>(category);
+    msg_iter = msg.iteration;
+    msg_gen = msg.generation;
+  }
+
   msg.vt_ready = vt.now_ns() + latency.count();
   ledger_->attempts.fetch_add(1, std::memory_order_relaxed);
   if (to.queue_.push(std::move(msg))) {
     ledger_->delivered.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      TraceRecorder& tr = TraceRecorder::instance();
+      tr.flow_start(traffic_category_name(category), flow, vt.now_ns(),
+                    msg_iter, msg_gen);
+      int64_t inflight = tr.add_inflight(static_cast<int>(category),
+                                         static_cast<int64_t>(bytes));
+      tr.counter(traffic_inflight_counter_name(category), vt.now_ns(),
+                 inflight);
+    }
   } else {
     // Late producer racing a closed mailbox (termination/rollback): the
     // message is dropped by design, but it stays on the ledger.

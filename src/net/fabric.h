@@ -45,6 +45,7 @@
 #include "common/sim_time.h"
 #include "metrics/invariants.h"
 #include "metrics/metrics.h"
+#include "metrics/trace.h"
 
 namespace imr {
 
@@ -83,6 +84,12 @@ struct NetMessage {
   int iteration = 0;     // iterative protocols tag batches by iteration
   int generation = 0;    // job generation; receivers drop stale-generation
                          // data after a rollback (§3.4)
+  // Tracing: nonzero flow id links this message's send event to its receive
+  // event (a Perfetto arrow); trace_cat is the TrafficCategory, carried so
+  // the receiver can name the flow and settle the in-flight counter. Stamped
+  // by Fabric::send only while tracing is enabled.
+  uint64_t trace_flow = 0;
+  uint8_t trace_cat = 0;
   // Data payload, behind a shared handle: copying a NetMessage (broadcast
   // fan-out) shares the one records buffer. null means "no records".
   std::shared_ptr<KVVec> payload;
@@ -155,10 +162,12 @@ struct NetMessage {
 class Endpoint {
  public:
   Endpoint(std::string name, int home_worker,
-           std::shared_ptr<detail::ChannelLedger> ledger = nullptr)
+           std::shared_ptr<detail::ChannelLedger> ledger = nullptr,
+           Histogram* queue_wait_hist = nullptr)
       : name_(std::move(name)),
         home_worker_(home_worker),
-        ledger_(std::move(ledger)) {}
+        ledger_(std::move(ledger)),
+        queue_wait_hist_(queue_wait_hist) {}
 
   // Undrained messages at teardown are declared discards in the ledger.
   ~Endpoint() {
@@ -176,8 +185,27 @@ class Endpoint {
   std::optional<NetMessage> receive(VClock& vt) {
     auto msg = queue_.pop();
     if (msg) {
+      if (queue_wait_hist_ != nullptr && TraceRecorder::enabled()) {
+        // How long the message sat ready in the mailbox before the receiver
+        // got to it (0 when the receiver was already waiting). Gated with
+        // the trace probes: the untraced receive pays one branch, nothing
+        // else.
+        int64_t wait = vt.now_ns() - msg->vt_ready;
+        queue_wait_hist_->record(wait > 0 ? wait : 0);
+      }
       vt.sync_to(msg->vt_ready);
       count_received();
+      if (msg->trace_flow != 0 && TraceRecorder::enabled()) {
+        TraceRecorder& tr = TraceRecorder::instance();
+        const auto cat = static_cast<TrafficCategory>(msg->trace_cat);
+        tr.flow_end(traffic_category_name(cat), msg->trace_flow, vt.now_ns(),
+                    msg->iteration, msg->generation);
+        int64_t inflight = tr.add_inflight(
+            msg->trace_cat, -static_cast<int64_t>(msg->payload_bytes()));
+        tr.counter(traffic_inflight_counter_name(cat), vt.now_ns(), inflight);
+        tr.counter("queue_depth", vt.now_ns(),
+                   static_cast<int64_t>(queue_.size()));
+      }
     }
     return msg;
   }
@@ -195,6 +223,7 @@ class Endpoint {
   std::string name_;
   const int home_worker_;
   std::shared_ptr<detail::ChannelLedger> ledger_;
+  Histogram* queue_wait_hist_;  // owned by the fabric's MetricsRegistry
   BlockingQueue<NetMessage> queue_;
 };
 
@@ -204,6 +233,11 @@ class Fabric {
       : cost_(cost),
         metrics_(metrics),
         ledger_(std::make_shared<detail::ChannelLedger>()),
+        // Histogram references are stable for the registry's lifetime, so
+        // the hot paths record through cached pointers, never the registry
+        // map.
+        batch_bytes_hist_(&metrics.histogram("fabric_batch_bytes")),
+        queue_wait_hist_(&metrics.histogram("endpoint_queue_wait_ns")),
         fault_rng_(1) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -263,6 +297,8 @@ class Fabric {
   MetricsRegistry& metrics_;
   std::function<bool(int)> liveness_;  // set before any concurrency
   std::shared_ptr<detail::ChannelLedger> ledger_;
+  Histogram* batch_bytes_hist_;
+  Histogram* queue_wait_hist_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
 

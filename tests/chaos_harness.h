@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "imapreduce/conf.h"
 #include "imapreduce/engine.h"
 #include "metrics/invariants.h"
+#include "metrics/trace.h"
 #include "net/fabric.h"
 
 namespace imr::chaos {
@@ -47,6 +50,19 @@ inline ChaosResult run_chaos_job(Cluster& cluster, const IterJobConf& conf,
                        .with_report(out.report)
                        .check(expect);
   cluster.fabric().set_channel_faults(ChannelFaultConfig{});
+  // With IMR_TRACE=<prefix> set, every chaos run exports its own Perfetto
+  // trace — "<prefix>.<conf>.<n>.json" — then clears the recorder so the
+  // next run starts on fresh tracks. Fault injections show up as
+  // "fault:<point>" instants on the dying task's track (replay a failing
+  // seed under IMR_TRACE to *see* the failure and recovery).
+  if (const char* prefix = std::getenv("IMR_TRACE");
+      prefix != nullptr && *prefix != '\0') {
+    static std::atomic<int> trace_seq{0};
+    std::string path = std::string(prefix) + "." + conf.name + "." +
+                       std::to_string(trace_seq.fetch_add(1)) + ".json";
+    TraceRecorder::instance().export_to_file(path);
+    TraceRecorder::instance().reset();
+  }
   return out;
 }
 

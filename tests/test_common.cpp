@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/codec.h"
 #include "common/hash.h"
+#include "common/log.h"
 #include "common/params.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -14,6 +15,30 @@
 
 namespace imr {
 namespace {
+
+TEST(Log, FormatLinePrefixLayout) {
+  // "[<sec 10-wide>.<ms 3-wide> LEVEL tNN tag] msg" — attributable,
+  // monotonic, column-aligned.
+  EXPECT_EQ(detail::format_log_line(LogLevel::kInfo, "hello", 12345, 7,
+                                    "sssp/p0/m1"),
+            "[        12.345 INFO  t07 sssp/p0/m1] hello");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kError, "boom", 999, 12, ""),
+            "[         0.999 ERROR t12] boom");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kWarn, "w", 61000, 3, "x"),
+            "[        61.000 WARN  t03 x] w");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kDebug, "", 0, 0, ""),
+            "[         0.000 DEBUG t00] ");
+}
+
+TEST(Log, ThreadTagBindAndClear) {
+  // set_thread_log_tag feeds the formatter's tag field; a cleared tag drops
+  // the column entirely (see TaskContext, which binds the task name).
+  set_thread_log_tag("task-a");
+  clear_thread_log_tag();
+  // No crash and idempotent clear.
+  clear_thread_log_tag();
+  SUCCEED();
+}
 
 TEST(BlockingQueue, FifoOrder) {
   BlockingQueue<int> q;

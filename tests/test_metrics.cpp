@@ -77,6 +77,131 @@ TEST(RunReportCapture, PullsTotalsFromRegistry) {
   EXPECT_EQ(r.job_init_time, sim_ms(12));
 }
 
+TEST(RunReportCapture, CoversEveryCommunicationCategory) {
+  MetricsRegistry m;
+  m.add_traffic(TrafficCategory::kReduceToMap, 300, false);
+  m.add_traffic(TrafficCategory::kReduceToMap, 120, true);
+  m.add_traffic(TrafficCategory::kBroadcast, 80, true);
+  m.add_traffic(TrafficCategory::kCheckpoint, 64, false);
+  m.add_traffic(TrafficCategory::kCheckpoint, 32, true);
+  m.add_traffic(TrafficCategory::kControl, 9, true);
+  RunReport r;
+  r.capture(m);
+  EXPECT_EQ(r.reduce_to_map_bytes, 420);
+  EXPECT_EQ(r.reduce_to_map_remote_bytes, 120);
+  EXPECT_EQ(r.broadcast_bytes, 80);
+  EXPECT_EQ(r.broadcast_remote_bytes, 80);
+  EXPECT_EQ(r.checkpoint_bytes, 96);
+  EXPECT_EQ(r.checkpoint_remote_bytes, 32);
+  EXPECT_EQ(r.control_bytes, 9);
+  EXPECT_EQ(r.control_remote_bytes, 9);
+  EXPECT_EQ(r.shuffle_remote_bytes, 0);
+  // The report's per-category remote slices must sum to the communication
+  // total (plus DFS, absent here) — the Fig. 11 decomposition closes.
+  EXPECT_EQ(r.total_comm_bytes, r.reduce_to_map_remote_bytes +
+                                    r.broadcast_remote_bytes +
+                                    r.checkpoint_remote_bytes +
+                                    r.control_remote_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketIndexCoversPowerOfTwoRanges) {
+  EXPECT_EQ(Histogram::bucket_index(-5), 0);
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11);
+  EXPECT_EQ(Histogram::bucket_index(INT64_MAX), 63);
+  // bucket b covers [bucket_lower(b), bucket_lower(b+1)).
+  for (int b = 1; b < 62; ++b) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(b)), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(b + 1) - 1), b);
+  }
+}
+
+TEST(Histogram, CountMeanAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+  // 90 samples around 1000 (bucket [512, 1024)), 10 around 100000
+  // (bucket [65536, 131072)).
+  for (int i = 0; i < 90; ++i) h.record(1000);
+  for (int i = 0; i < 10; ++i) h.record(100000);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), (90 * 1000.0 + 10 * 100000.0) / 100.0);
+  // Percentiles report the bucket midpoint: 1.5 * lower bound.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1.5 * 512);
+  EXPECT_DOUBLE_EQ(h.percentile(90), 1.5 * 512);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1.5 * 65536);
+  // Log-bucket accuracy promise: within ~1.5x of the true value.
+  EXPECT_GT(h.percentile(50), 1000.0 / 1.5);
+  EXPECT_LT(h.percentile(50), 1000.0 * 1.5);
+}
+
+TEST(Histogram, ZeroAndNegativeSamplesLandInBucketZero) {
+  Histogram h;
+  h.record(0);
+  h.record(-17);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // non-positive samples don't enter sum
+}
+
+TEST(Histogram, MergeAccumulatesAndResetClears) {
+  Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.record(100);
+  for (int i = 0; i < 10; ++i) b.record(4000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20);
+  EXPECT_DOUBLE_EQ(a.mean(), (10 * 100.0 + 10 * 4000.0) / 20.0);
+  EXPECT_DOUBLE_EQ(a.percentile(99), 1.5 * 2048);
+  a.reset();
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_EQ(b.count(), 10);  // merge source untouched
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < 10000; ++i) h.record(1 + t);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 40000);
+}
+
+TEST(Metrics, HistogramRegistryIsStableAcrossReset) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("latency_ns");
+  h.record(1000);
+  EXPECT_EQ(&h, &m.histogram("latency_ns"));  // stable reference
+  m.reset();
+  // reset() clears contents but keeps the entry: cached pointers stay valid.
+  EXPECT_EQ(h.count(), 0);
+  h.record(2000);
+  EXPECT_EQ(m.histogram("latency_ns").count(), 1);
+}
+
+TEST(Metrics, ReportShowsHistogramPercentiles) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("iteration_wall_us");
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  m.histogram("empty_one");  // empty histograms are skipped
+  std::string report = m.report();
+  EXPECT_NE(report.find("iteration_wall_us"), std::string::npos);
+  EXPECT_NE(report.find("p50"), std::string::npos);
+  EXPECT_EQ(report.find("empty_one"), std::string::npos);
+}
+
 TEST(TextTable, RendersAlignedColumns) {
   TextTable t({"name", "value"});
   t.add_row({"alpha", "1"});

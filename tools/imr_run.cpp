@@ -19,11 +19,14 @@
 //   --data-scale S         cost-model scaling for 1/S-size datasets
 //   --seed S               dataset seed
 //   --report               dump the metrics report after the run
+//   --trace PATH           record a Chrome/Perfetto trace of the run(s) and
+//                          write it to PATH (or set IMR_TRACE=<path>)
 //
 // Dataset flags: --graph <name> --scale <s> (graph algorithms),
 //   --points/--dim/--clusters (kmeans), --samples/--lr (logreg),
 //   --n/--density (jacobi), --n (matpower).
 #include <cstdio>
+#include <cstdlib>
 
 #include "algorithms/concomp.h"
 #include "algorithms/jacobi.h"
@@ -38,6 +41,7 @@
 #include "graph/generator.h"
 #include "imapreduce/engine.h"
 #include "mapreduce/iterative_driver.h"
+#include "metrics/trace.h"
 
 using namespace imr;
 
@@ -58,6 +62,7 @@ struct Options {
   double data_scale = 1.0;
   uint64_t seed = 42;
   bool report = false;
+  std::string trace;  // trace export path; empty = no tracing
 };
 
 Options parse_options(const Flags& flags) {
@@ -76,6 +81,13 @@ Options parse_options(const Flags& flags) {
   o.data_scale = flags.get_double("data-scale", 1.0);
   o.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
   o.report = flags.get_bool("report");
+  o.trace = flags.get("trace", "");
+  if (o.trace.empty()) {
+    // IMR_TRACE=<path> arms tracing at process start (see metrics/trace.h);
+    // honor its value as the export path.
+    const char* env = std::getenv("IMR_TRACE");
+    if (env != nullptr) o.trace = env;
+  }
   return o;
 }
 
@@ -115,6 +127,8 @@ int main(int argc, char** argv) {
   const std::string algo = flags.positional()[0];
   Options o = parse_options(flags);
   if (flags.get_bool("verbose")) set_log_level(LogLevel::kInfo);
+
+  if (!o.trace.empty()) TraceRecorder::instance().enable();
 
   auto cluster = make_cluster(o);
   const bool run_mr = o.engine == "mr" || o.engine == "both";
@@ -261,6 +275,16 @@ int main(int argc, char** argv) {
   }
   if (o.report) {
     std::printf("\n%s", cluster->metrics().report().c_str());
+  }
+  if (!o.trace.empty()) {
+    if (TraceRecorder::instance().export_to_file(o.trace)) {
+      std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                  o.trace.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   o.trace.c_str());
+      return 1;
+    }
   }
   return 0;
 }
