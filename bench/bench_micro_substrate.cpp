@@ -6,6 +6,8 @@
 // assumes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "common/codec.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "imapreduce/static_store.h"
 #include "mapreduce/shuffle_util.h"
 #include "metrics/trace.h"
 
@@ -74,6 +77,202 @@ void BM_SortRecords(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SortRecords)->Arg(1024)->Arg(16384);
+
+// --- Record-path A/B series -------------------------------------------------
+// The machine drifts between benchmark runs, so the pre-overhaul
+// implementations are kept VERBATIM inside this binary: one run of the suite
+// is an interleaved before/after comparison on identical machine state.
+
+// Reference: sort_records as it was before the prefix pass.
+void sort_records_reference(KVVec& records, bool sort_values) {
+  if (sort_values) {
+    std::sort(records.begin(), records.end());
+  } else {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const KV& a, const KV& b) { return a.key < b.key; });
+  }
+}
+
+void BM_SortRecordsStd(benchmark::State& state) {
+  Rng rng(2);  // same seed/shape as BM_SortRecords: A/B on identical input
+  KVVec base;
+  for (int i = 0; i < state.range(0); ++i) {
+    base.emplace_back(u64_key(rng.next_u64()), f64_value(1.0));
+  }
+  for (auto _ : state) {
+    KVVec copy = base;
+    sort_records_reference(copy, true);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortRecordsStd)->Arg(1024)->Arg(16384);
+
+// Static-data join: the per-record state->static lookup of iterative map
+// (§3.2.2). 16k static records, probed with every key once per iteration, in
+// shuffled (arrival-like) order.
+struct JoinFixture {
+  KVVec sorted;
+  std::vector<Bytes> probes;
+
+  explicit JoinFixture(int n) {
+    Rng rng(3);
+    for (int i = 0; i < n; ++i) {
+      sorted.emplace_back(u64_key(rng.next_u64()), f64_value(1.0));
+    }
+    sort_records(sorted, false);
+    for (const KV& kv : sorted) probes.push_back(kv.key);
+    for (std::size_t i = probes.size(); i > 1; --i) {
+      std::swap(probes[i - 1], probes[rng.next_u64() % i]);
+    }
+  }
+};
+
+// Reference: the binary-search join the engine used before StaticStore.
+void BM_StaticJoinLowerBound(benchmark::State& state) {
+  JoinFixture fx(static_cast<int>(state.range(0)));
+  const KVVec& static_sorted = fx.sorted;
+  auto static_value = [&](const Bytes& key) -> const Bytes* {
+    auto it = std::lower_bound(
+        static_sorted.begin(), static_sorted.end(), key,
+        [](const KV& kv, const Bytes& k) { return kv.key < k; });
+    if (it == static_sorted.end() || it->key != key) return nullptr;
+    return &it->value;
+  };
+  for (auto _ : state) {
+    for (const Bytes& k : fx.probes) {
+      benchmark::DoNotOptimize(static_value(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StaticJoinLowerBound)->Arg(1024)->Arg(16384);
+
+void BM_StaticJoinIndex(benchmark::State& state) {
+  JoinFixture fx(static_cast<int>(state.range(0)));
+  StaticStore store;
+  store.build(fx.sorted);  // copy in: fixture keeps the probe source
+  for (auto _ : state) {
+    for (const Bytes& k : fx.probes) {
+      benchmark::DoNotOptimize(store.find(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StaticJoinIndex)->Arg(1024)->Arg(16384);
+
+// Group iteration over a sorted reduce buffer: 8 values per key, f64 values
+// (the PageRank/SSSP shape). The "work" per group is a byte sum so neither
+// side can dead-code the values away.
+struct GroupFixture {
+  KVVec sorted;
+
+  explicit GroupFixture(int n) {
+    Rng rng(4);
+    for (int i = 0; i < n; ++i) {
+      sorted.emplace_back(u64_key(rng.next_u64() % (n / 8 + 1)),
+                          f64_value(static_cast<double>(i)));
+    }
+    sort_records(sorted, true);
+  }
+};
+
+// Reference: for_each_group as it was — a fresh std::vector<Bytes> of copied
+// values per group.
+void for_each_group_reference(
+    const KVVec& sorted,
+    const std::function<void(const Bytes& key,
+                             const std::vector<Bytes>& values)>& fn) {
+  std::size_t i = 0;
+  std::vector<Bytes> values;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < sorted.size() && sorted[j].key == sorted[i].key) {
+      values.push_back(sorted[j].value);
+      ++j;
+    }
+    fn(sorted[i].key, values);
+    i = j;
+  }
+}
+
+void BM_GroupIterateCopy(benchmark::State& state) {
+  GroupFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t bytes = 0;
+    for_each_group_reference(
+        fx.sorted, [&](const Bytes& key, const std::vector<Bytes>& values) {
+          bytes += key.size();
+          for (const Bytes& v : values) bytes += v.size();
+        });
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupIterateCopy)->Arg(1024)->Arg(16384);
+
+void BM_GroupIterateCursor(benchmark::State& state) {
+  GroupFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t bytes = 0;
+    GroupCursor groups(fx.sorted);
+    while (groups.next()) {
+      bytes += groups.key().size();
+      for (const KV& kv : groups.run()) bytes += kv.value.size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupIterateCursor)->Arg(1024)->Arg(16384);
+
+// Map-side combining: 16k records onto 2k keys with a summing combiner —
+// sorted run-length combining (the deterministic_reduce path, with the sort
+// it requires) vs hash aggregation (the new default path, no sort at all).
+struct CombineFixture {
+  KVVec base;
+  CombineFn sum = [](const Bytes& key, const std::vector<Bytes>& values,
+                     KVVec& out) {
+    double total = 0;
+    for (const Bytes& v : values) {
+      std::size_t pos = 0;
+      total += decode_f64(v, pos);
+    }
+    out.emplace_back(key, f64_value(total));
+  };
+
+  explicit CombineFixture(int n) {
+    Rng rng(5);
+    for (int i = 0; i < n; ++i) {
+      base.emplace_back(u64_key(rng.next_u64() % (n / 8 + 1)),
+                        f64_value(1.0));
+    }
+  }
+};
+
+void BM_CombineSorted(benchmark::State& state) {
+  CombineFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    KVVec buf = fx.base;
+    sort_records(buf, true);
+    benchmark::DoNotOptimize(combine_sorted(buf, fx.sum));
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CombineSorted)->Arg(1024)->Arg(16384);
+
+void BM_CombineHashed(benchmark::State& state) {
+  CombineFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    KVVec buf = fx.base;
+    benchmark::DoNotOptimize(combine_hashed(buf, fx.sum));
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CombineHashed)->Arg(1024)->Arg(16384);
 
 void BM_FabricSendReceive(benchmark::State& state) {
   ClusterConfig cfg;

@@ -43,6 +43,22 @@ struct KV {
 
 using KVVec = std::vector<KV>;
 
+// First 8 bytes of a key as a big-endian integer, zero-padded on the right.
+// Because the codecs are order-preserving, comparing prefixes compares keys:
+// prefix(a) < prefix(b) implies a < b lexicographically (a pad byte only ties
+// with a real 0x00 byte, and ties fall back to a full compare). The sort and
+// join fast paths use this to replace most byte-string compares with one
+// integer compare.
+inline uint64_t key_prefix_u64(BytesView key) {
+  uint64_t p = 0;
+  const std::size_t n = key.size() < 8 ? key.size() : 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    p |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
+         << (56 - 8 * i);
+  }
+  return p;
+}
+
 // Total wire size of a batch of records.
 inline std::size_t wire_size(const KVVec& kvs) {
   std::size_t n = 0;

@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "imapreduce/control.h"
+#include "imapreduce/static_store.h"
 #include "mapreduce/shuffle_util.h"
 
 namespace imr {
@@ -443,38 +444,45 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
             << " starting at iter " << start_iter << " on worker "
             << ctx.worker();
 
-  // One-time static load (§3.2: loaded to local FS once).
-  KVVec static_sorted;
+  // One-time static load (§3.2: loaded to local FS once). The partition is
+  // sorted (for in-order map_all scans) and hash-indexed (StaticStore) here,
+  // once per persistent task — every per-record join of every iteration then
+  // costs one hash probe instead of a lower_bound's log n string compares.
+  StaticStore static_store;
   if (!ph.static_path.empty()) {
-    static_sorted = cluster_.dfs().read_partition(
+    KVVec static_data = cluster_.dfs().read_partition(
         ph.static_path, static_cast<uint32_t>(i), static_cast<uint32_t>(T_),
         ctx.worker(), &ctx.vt());
-    ThreadCpuTimer sort_cpu;
-    sort_records(static_sorted, /*sort_values=*/false);
-    ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+    TraceSpan index_span("join_index_build", ctx.vt(), start_iter, gen);
+    ThreadCpuTimer index_cpu;
+    sort_records(static_data, /*sort_values=*/false);
+    static_store.build(std::move(static_data));
+    ctx.charge_compute(index_cpu.elapsed_ns(), TimeCategory::kSort);
   }
 
   std::unique_ptr<IterMapper> mapper = ph.mapper();
   mapper->configure(conf_.params);
   std::unique_ptr<IterReducer> combiner = ph.combiner ? ph.combiner() : nullptr;
   if (combiner) combiner->configure(conf_.params);
+  CombineFn combine_body;
+  if (combiner) {
+    combine_body = [&combiner = *combiner](const Bytes& key,
+                                           const std::vector<Bytes>& values,
+                                           KVVec& out) {
+      CollectEmitter emitter(out);
+      combiner.reduce(key, values, emitter);
+    };
+  }
 
   TaskEmitter emitter(T_, num_aux);
 
-  // Binary-search join against the sorted static data (§3.2.2).
-  auto static_value = [&](const Bytes& key) -> const Bytes* {
-    auto it = std::lower_bound(
-        static_sorted.begin(), static_sorted.end(), key,
-        [](const KV& kv, const Bytes& k) { return kv.key < k; });
-    if (it == static_sorted.end() || it->key != key) return nullptr;
-    return &it->value;
-  };
   static const Bytes kEmpty;
 
+  // Hash join against the static index (§3.2.2): one probe per record.
   auto process_one2one_batch = [&](const KVVec& batch) {
     ThreadCpuTimer cpu;
     for (const KV& kv : batch) {
-      const Bytes* sv = static_value(kv.key);
+      const Bytes* sv = static_store.find(kv.key);
       mapper->map(kv.key, kv.value, sv ? *sv : kEmpty, emitter);
     }
     ctx.charge_compute(cpu.elapsed_ns());
@@ -482,8 +490,16 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   auto process_one2all = [&](KVVec& states) {
     ThreadCpuTimer cpu;
     // Deterministic order regardless of broadcast arrival interleaving.
-    sort_records(states, /*sort_values=*/false);
-    for (const KV& kv : static_sorted) {
+    // Reduce pushes already arrive key-sorted per sender, so steady-state
+    // iterations (single sender, or luckily ordered interleavings) skip the
+    // sort; a stable key-only sort of an already key-sorted buffer is the
+    // identity, so the guard never changes the outcome.
+    if (!std::is_sorted(
+            states.begin(), states.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; })) {
+      sort_records(states, /*sort_values=*/false);
+    }
+    for (const KV& kv : static_store.records()) {
       mapper->map_all(kv.key, kv.value, states, emitter);
     }
     ctx.charge_compute(cpu.elapsed_ns());
@@ -503,17 +519,24 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
         continue;
       }
       if (combiner) {
-        // Combine before shipping (sorted run-length grouping).
-        ThreadCpuTimer cpu;
-        sort_records(buf, conf_.deterministic_reduce);
-        KVVec combined;
-        CollectEmitter cemit(combined);
-        for_each_group(buf, [&](const Bytes& key,
-                                const std::vector<Bytes>& values) {
-          combiner->reduce(key, values, cemit);
-        });
-        buf = std::move(combined);
-        ctx.charge_compute(cpu.elapsed_ns());
+        // Combine before shipping, through the shared shuffle_util path:
+        // sorted run-length grouping when deterministic_reduce pins the
+        // order, hash aggregation (no sort) otherwise.
+        TraceSpan combine_span("combine", ctx.vt(), iter, gen);
+        if (conf_.deterministic_reduce) {
+          {
+            ThreadCpuTimer sort_cpu;
+            sort_records(buf, /*sort_values=*/true);
+            ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+          }
+          ThreadCpuTimer cpu;
+          combine_sorted(buf, combine_body);
+          ctx.charge_compute(cpu.elapsed_ns());
+        } else {
+          ThreadCpuTimer cpu;
+          combine_hashed(buf, combine_body);
+          ctx.charge_compute(cpu.elapsed_ns());
+        }
       }
       send_batch(ctx, red_row.at(r), std::move(buf), i, iter, gen,
                  TrafficCategory::kShuffle);
@@ -887,34 +910,37 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     KVVec pending_batch;
     double local_distance = 0;
     ThreadCpuTimer cpu;
-    for_each_group(records,
-                   [&](const Bytes& key, const std::vector<Bytes>& values) {
-                     KVVec produced;
-                     CollectEmitter group_emitter(produced);
-                     reducer->reduce(key, values, group_emitter);
-                     for (KV& kv : produced) {
-                       if (last_phase) {
-                         auto it = state_map.find(kv.key);
-                         const Bytes& prev =
-                             it == state_map.end() ? Bytes{} : it->second;
-                         local_distance +=
-                             reducer->distance(kv.key, prev, kv.value);
-                         state_map[kv.key] = kv.value;
-                       }
-                       if (aux_from_reduce) output.push_back(kv);
-                       pending_batch.push_back(std::move(kv));
-                     }
-                     if (pending_batch.size() >=
-                         static_cast<std::size_t>(conf_.buffer_records)) {
-                       // Charge the compute consumed so far, then ship — the
-                       // batch's availability time reflects the work done to
-                       // produce it.
-                       ctx.charge_compute(cpu.elapsed_ns());
-                       cpu.reset();
-                       ship_batch(std::move(pending_batch));
-                       pending_batch = KVVec{};
-                     }
-                   });
+    // Zero-copy grouping: the cursor walks key runs in place and the values
+    // adapter MOVES each run's values out of `records` (consumed by this
+    // pass) instead of deep-copying them per group.
+    GroupCursor groups(records);
+    GroupValues group_vals;
+    KVVec produced;
+    while (groups.next()) {
+      produced.clear();
+      CollectEmitter group_emitter(produced);
+      reducer->reduce(groups.key(), group_vals.take(records, groups),
+                      group_emitter);
+      for (KV& kv : produced) {
+        if (last_phase) {
+          auto it = state_map.find(kv.key);
+          const Bytes& prev = it == state_map.end() ? Bytes{} : it->second;
+          local_distance += reducer->distance(kv.key, prev, kv.value);
+          state_map[kv.key] = kv.value;
+        }
+        if (aux_from_reduce) output.push_back(kv);
+        pending_batch.push_back(std::move(kv));
+      }
+      if (pending_batch.size() >=
+          static_cast<std::size_t>(conf_.buffer_records)) {
+        // Charge the compute consumed so far, then ship — the batch's
+        // availability time reflects the work done to produce it.
+        ctx.charge_compute(cpu.elapsed_ns());
+        cpu.reset();
+        ship_batch(std::move(pending_batch));
+        pending_batch = KVVec{};
+      }
+    }
     ctx.charge_compute(cpu.elapsed_ns());
     // Injection point: died mid reduce->map push — earlier batches of this
     // iteration are already out, the tail and all EOS markers are not.
@@ -1149,10 +1175,11 @@ void JobRun::run_aux_reduce(int j, int gen, int start_iter,
     sort_records(records, conf_.deterministic_reduce);
     KVVec output;
     CollectEmitter out(output);
-    for_each_group(records,
-                   [&](const Bytes& key, const std::vector<Bytes>& values) {
-                     reducer->reduce(key, values, out);
-                   });
+    GroupCursor groups(records);
+    GroupValues group_vals;
+    while (groups.next()) {
+      reducer->reduce(groups.key(), group_vals.take(records, groups), out);
+    }
     ctx.charge_compute(cpu.elapsed_ns());
 
     for (const KV& kv : output) {

@@ -1,0 +1,51 @@
+// StaticStore — a map task's one-time index over its static data partition.
+//
+// The static data (§3.2) is loop-invariant: loaded once when the persistent
+// task starts, then joined against every state record of every iteration
+// (§3.2.2). Paying a per-record lower_bound with O(log n) byte-string
+// compares for that join re-derives the same ordering information each
+// round, so the store builds an open-addressed hash index (key -> record
+// slot) once at load and answers each probe with a single fnv1a hash and an
+// expected O(1) scan. The sorted record vector is kept as-is for the
+// one2all map_all() pass, which walks the static partition in key order.
+//
+// Duplicate static keys resolve to the FIRST record in sorted order —
+// exactly what the lower_bound join returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+class StaticStore {
+ public:
+  StaticStore() = default;
+  StaticStore(const StaticStore&) = delete;
+  StaticStore& operator=(const StaticStore&) = delete;
+
+  // Takes ownership of the partition's records, which MUST already be
+  // key-sorted (sort_records(records, /*sort_values=*/false)), and builds
+  // the hash index. May be called again to replace the contents.
+  void build(KVVec sorted);
+
+  // O(1) join probe: the value of the first sorted record with this key, or
+  // nullptr when the key has no static record. The pointer stays valid until
+  // the next build().
+  const Bytes* find(BytesView key) const;
+
+  // The sorted partition, for in-order scans (map_all).
+  const KVVec& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+ private:
+  KVVec records_;
+  // Open-addressed table: slot -> record index + 1, 0 = empty. Power-of-two
+  // capacity at load factor <= 0.5.
+  std::vector<uint32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace imr

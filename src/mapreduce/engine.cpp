@@ -279,19 +279,37 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
     std::unique_ptr<Reducer> combiner =
         conf.combiner ? conf.combiner() : nullptr;
     if (combiner) combiner->configure(conf.params);
+    CombineFn combine_body;
+    if (combiner) combine_body = combine_fn(*combiner);
 
     TraceSpan flush_span("shuffle_flush", ctx.vt());
     for (int r = 0; r < num_reduces; ++r) {
       KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
-      ThreadCpuTimer sort_cpu;
-      sort_records(buf, conf.deterministic_reduce);
-      ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
-      if (combiner && !buf.empty()) {
-        ThreadCpuTimer comb_cpu;
-        std::size_t saved = run_combiner(buf, *combiner);
-        ctx.charge_compute(comb_cpu.elapsed_ns());
-        cluster_.metrics().inc("combiner_records_saved",
-                               static_cast<int64_t>(saved));
+      if (combiner && !conf.deterministic_reduce) {
+        // Hash aggregation: no map-side sort at all. With
+        // deterministic_reduce off the shipped order is free — the reduce
+        // side's stable key sort reconstructs the same within-key value
+        // order either way.
+        if (!buf.empty()) {
+          TraceSpan combine_span("combine", ctx.vt());
+          ThreadCpuTimer comb_cpu;
+          std::size_t saved = combine_hashed(buf, combine_body);
+          ctx.charge_compute(comb_cpu.elapsed_ns());
+          cluster_.metrics().inc("combiner_records_saved",
+                                 static_cast<int64_t>(saved));
+        }
+      } else {
+        ThreadCpuTimer sort_cpu;
+        sort_records(buf, conf.deterministic_reduce);
+        ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+        if (combiner && !buf.empty()) {
+          TraceSpan combine_span("combine", ctx.vt());
+          ThreadCpuTimer comb_cpu;
+          std::size_t saved = combine_sorted(buf, combine_body);
+          ctx.charge_compute(comb_cpu.elapsed_ns());
+          cluster_.metrics().inc("combiner_records_saved",
+                                 static_cast<int64_t>(saved));
+        }
       }
       if (!buf.empty()) {
         NetMessage msg;
@@ -348,11 +366,13 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
     VectorEmitter out_emitter(output);
     ThreadCpuTimer cpu;
     int64_t groups = 0;
-    for_each_group(records,
-                   [&](const Bytes& key, const std::vector<Bytes>& values) {
-                     ++groups;
-                     reducer->reduce(key, values, out_emitter);
-                   });
+    GroupCursor cursor(records);
+    GroupValues group_vals;
+    while (cursor.next()) {
+      ++groups;
+      reducer->reduce(cursor.key(), group_vals.take(records, cursor),
+                      out_emitter);
+    }
     ctx.charge_compute(cpu.elapsed_ns());
     red_groups.fetch_add(groups);
     red_out.fetch_add(static_cast<int64_t>(output.size()));

@@ -1,10 +1,19 @@
 #include "mapreduce/shuffle_util.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "common/hash.h"
 
 namespace imr {
 
-void sort_records(KVVec& records, bool sort_values) {
+namespace {
+
+// Below this size the indirection of the prefix pass costs more than the
+// string compares it saves; fall back to a direct comparison sort.
+constexpr std::size_t kPrefixSortThreshold = 64;
+
+void sort_records_direct(KVVec& records, bool sort_values) {
   if (sort_values) {
     std::sort(records.begin(), records.end());
   } else {
@@ -13,35 +22,136 @@ void sort_records(KVVec& records, bool sort_values) {
   }
 }
 
+struct PrefixEntry {
+  uint64_t prefix;
+  uint32_t index;
+};
+
+}  // namespace
+
+void sort_records(KVVec& records, bool sort_values) {
+  const std::size_t n = records.size();
+  if (n < kPrefixSortThreshold || n > UINT32_MAX) {
+    sort_records_direct(records, sort_values);
+    return;
+  }
+
+  std::vector<PrefixEntry> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = PrefixEntry{key_prefix_u64(records[i].key),
+                           static_cast<uint32_t>(i)};
+  }
+  // Prefix inequality decides without touching the strings; ties (keys
+  // sharing their first 8 bytes, or short keys colliding with pad bytes)
+  // fall back to the full compare. The index tiebreak makes the key-only
+  // mode stable and the full mode a deterministic permutation even among
+  // bitwise-equal records.
+  std::sort(order.begin(), order.end(),
+            [&records, sort_values](const PrefixEntry& a,
+                                    const PrefixEntry& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              const KV& x = records[a.index];
+              const KV& y = records[b.index];
+              int c = x.key.compare(y.key);
+              if (c != 0) return c < 0;
+              if (sort_values) {
+                c = x.value.compare(y.value);
+                if (c != 0) return c < 0;
+              }
+              return a.index < b.index;
+            });
+  KVVec sorted;
+  sorted.reserve(n);
+  for (const PrefixEntry& e : order) {
+    sorted.push_back(std::move(records[e.index]));
+  }
+  records = std::move(sorted);
+}
+
 void for_each_group(
     const KVVec& sorted,
     const std::function<void(const Bytes& key,
                              const std::vector<Bytes>& values)>& fn) {
-  std::size_t i = 0;
-  std::vector<Bytes> values;
-  while (i < sorted.size()) {
-    std::size_t j = i;
-    values.clear();
-    while (j < sorted.size() && sorted[j].key == sorted[i].key) {
-      values.push_back(sorted[j].value);
-      ++j;
-    }
-    fn(sorted[i].key, values);
-    i = j;
+  GroupCursor groups(sorted);
+  GroupValues vals;
+  while (groups.next()) {
+    fn(groups.key(), vals.view(groups));
   }
 }
 
-std::size_t run_combiner(KVVec& sorted, Reducer& combiner) {
+std::size_t combine_sorted(KVVec& sorted, const CombineFn& fn) {
   KVVec combined;
   combined.reserve(sorted.size() / 2 + 1);
-  VectorEmitter emitter(combined);
-  for_each_group(sorted,
-                 [&](const Bytes& key, const std::vector<Bytes>& values) {
-                   combiner.reduce(key, values, emitter);
-                 });
+  GroupCursor groups(sorted);
+  GroupValues vals;
+  while (groups.next()) {
+    fn(groups.key(), vals.take(sorted, groups), combined);
+  }
   std::size_t saved = sorted.size() - combined.size();
   sorted = std::move(combined);
   return saved;
+}
+
+std::size_t combine_hashed(KVVec& records, const CombineFn& fn) {
+  if (records.empty()) return 0;
+
+  struct Group {
+    std::size_t first;  // index of the group's first record (the key source)
+    std::vector<Bytes> values;
+  };
+  std::vector<Group> groups;  // first-appearance order
+  groups.reserve(records.size() / 2 + 1);
+
+  // Open-addressed index: slot -> group id + 1, 0 = empty. Power-of-two
+  // capacity at load factor <= 0.5 keeps probe chains short.
+  const std::size_t capacity = next_pow2(2 * records.size());
+  const std::size_t mask = capacity - 1;
+  std::vector<uint32_t> slots(capacity, 0);
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Bytes& key = records[i].key;
+    std::size_t s = static_cast<std::size_t>(fnv1a(key)) & mask;
+    while (true) {
+      uint32_t g = slots[s];
+      if (g == 0) {
+        slots[s] = static_cast<uint32_t>(groups.size()) + 1;
+        groups.push_back(Group{i, {}});
+        groups.back().values.push_back(std::move(records[i].value));
+        break;
+      }
+      Group& grp = groups[g - 1];
+      if (records[grp.first].key == key) {
+        grp.values.push_back(std::move(records[i].value));
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+
+  KVVec combined;
+  combined.reserve(groups.size());
+  for (const Group& g : groups) {
+    fn(records[g.first].key, g.values, combined);
+  }
+  std::size_t saved = records.size() - combined.size();
+  records = std::move(combined);
+  return saved;
+}
+
+std::size_t combine_records(KVVec& records, bool deterministic,
+                            const CombineFn& fn) {
+  if (records.empty()) return 0;
+  if (!deterministic) return combine_hashed(records, fn);
+  sort_records(records, /*sort_values=*/true);
+  return combine_sorted(records, fn);
+}
+
+CombineFn combine_fn(Reducer& combiner) {
+  return [&combiner](const Bytes& key, const std::vector<Bytes>& values,
+                     KVVec& out) {
+    VectorEmitter emitter(out);
+    combiner.reduce(key, values, emitter);
+  };
 }
 
 }  // namespace imr
