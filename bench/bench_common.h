@@ -93,6 +93,89 @@ inline FourWay run_pagerank_fourway(Cluster& cluster, const Graph& g,
   return out;
 }
 
+// --- Bulk-vs-workset A/B (DESIGN.md §7) ---
+//
+// The same convergent job run twice on fresh, identically configured
+// clusters: once in bulk mode (count-changed distance threshold) and once
+// with workset_mode on, where the frontier drain is the only termination
+// path. Alongside wall time the A/B records the map phase's record ledger —
+// bulk maps every state record every iteration, workset maps the full state
+// once and then only each iteration's frontier — so the tail-iteration
+// advantage is measured in mapped records, not just seconds.
+struct WorksetAB {
+  RunReport bulk;
+  RunReport ws;
+  int64_t state_records = 0;
+  int64_t bulk_mapped = 0;  // imr_map_input_records across the whole run
+  int64_t ws_mapped = 0;
+  // Map input of the final (converging) iteration: the full state vs the
+  // last non-empty frontier.
+  int64_t tail_bulk = 0;
+  int64_t tail_ws = 0;
+};
+
+inline void finish_workset_ab(WorksetAB& r) {
+  r.tail_bulk = r.state_records;
+  const auto& stats = r.ws.iterations;
+  r.tail_ws = stats.size() >= 2 ? stats[stats.size() - 2].workset_size
+                                : r.state_records;
+}
+
+inline WorksetAB run_sssp_workset_ab(const ClusterConfig& config,
+                                     const Graph& g, const std::string& base,
+                                     int max_iters) {
+  WorksetAB r;
+  r.state_records = g.num_nodes();
+  {
+    Cluster cluster(config);
+    Sssp::setup(cluster, g, 0, base);
+    IterativeEngine engine(cluster);
+    r.bulk = engine.run(
+        Sssp::imapreduce(base, base + "/out_bulk", max_iters, 0.5));
+    r.bulk_mapped = cluster.metrics().count("imr_map_input_records");
+  }
+  {
+    Cluster cluster(config);
+    Sssp::setup(cluster, g, 0, base);
+    IterJobConf conf = Sssp::imapreduce(base, base + "/out_ws", max_iters);
+    conf.workset_mode = true;
+    IterativeEngine engine(cluster);
+    r.ws = engine.run(conf);
+    r.ws_mapped = cluster.metrics().count("imr_map_input_records");
+  }
+  finish_workset_ab(r);
+  return r;
+}
+
+inline WorksetAB run_pagerank_workset_ab(const ClusterConfig& config,
+                                         const Graph& g,
+                                         const std::string& base,
+                                         int max_iters, double theta) {
+  WorksetAB r;
+  r.state_records = g.num_nodes();
+  {
+    Cluster cluster(config);
+    PageRank::setup_delta(cluster, g, base);
+    IterativeEngine engine(cluster);
+    r.bulk = engine.run(PageRank::imapreduce_delta(base, base + "/out_bulk",
+                                                   max_iters, theta));
+    r.bulk_mapped = cluster.metrics().count("imr_map_input_records");
+  }
+  {
+    Cluster cluster(config);
+    PageRank::setup_delta(cluster, g, base);
+    IterJobConf conf =
+        PageRank::imapreduce_delta(base, base + "/out_ws", max_iters, theta);
+    conf.workset_mode = true;
+    conf.distance_threshold = -1.0;
+    IterativeEngine engine(cluster);
+    r.ws = engine.run(conf);
+    r.ws_mapped = cluster.metrics().count("imr_map_input_records");
+  }
+  finish_workset_ab(r);
+  return r;
+}
+
 // Prints the Figs. 4–7 style four-curve table plus the speedup summary.
 inline void print_fourway(const FourWay& r) {
   print_series({series_of("MapReduce", r.mr),

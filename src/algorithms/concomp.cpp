@@ -150,6 +150,12 @@ IterJobConf ConComp::imapreduce(const std::string& base,
       [](const Bytes&, const Bytes& prev, const Bytes& cur) {
         if (prev.empty()) return 1.0;
         return as_u32(prev) == as_u32(cur) ? 0.0 : 1.0;
+      },
+      // Workset merge: keep the smaller component label (min is idempotent,
+      // satisfying the monotonic-update contract).
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        if (prev.empty()) return cur;
+        return as_u32(cur) < as_u32(prev) ? cur : prev;
       });
   conf.phases.push_back(std::move(phase));
   return conf;

@@ -189,6 +189,175 @@ IterJobConf PageRank::imapreduce(const std::string& base,
   return conf;
 }
 
+// --- Delta-accumulation formulation ---
+
+namespace {
+constexpr const char* kDeltaThresholdParam = "pagerank.delta_threshold";
+constexpr std::size_t kDeltaStateSize = 16;  // f64 rank | f64 delta
+}  // namespace
+
+Bytes PageRank::encode_delta(double rank, double delta) {
+  Bytes v;
+  encode_f64(rank, v);
+  encode_f64(delta, v);
+  return v;
+}
+
+void PageRank::decode_delta(BytesView v, double& rank, double& delta) {
+  std::size_t pos = 0;
+  rank = decode_f64(v, pos);
+  delta = decode_f64(v, pos);
+}
+
+void PageRank::setup_delta(Cluster& cluster, const Graph& g,
+                           const std::string& base, double damping) {
+  // Every node starts with its base mass (1-d)/|V| both banked (rank) and
+  // pending propagation (delta). Accumulating d^k-damped shares of this
+  // seed over all paths is exactly the geometric-series expansion of the
+  // PageRank fixpoint, so the converged ranks match the power-iteration
+  // job's.
+  KVVec stat, state;
+  stat.reserve(g.num_nodes());
+  state.reserve(g.num_nodes());
+  const double r0 = (1.0 - damping) / g.num_nodes();
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    std::vector<uint32_t> adj;
+    adj.reserve(g.adj[u].size());
+    for (const WEdge& e : g.adj[u]) adj.push_back(e.dst);
+    Bytes key = u32_key(u);
+    Bytes enc;
+    encode_adj(adj, enc);
+    stat.emplace_back(key, std::move(enc));
+    state.emplace_back(std::move(key), encode_delta(r0, r0));
+  }
+  cluster.dfs().write_file(base + "/static", std::move(stat), -1, nullptr);
+  cluster.dfs().write_file(base + "/state", std::move(state), -1, nullptr);
+}
+
+IterJobConf PageRank::imapreduce_delta(const std::string& base,
+                                       const std::string& output_path,
+                                       int max_iterations,
+                                       double delta_threshold,
+                                       double damping) {
+  IterJobConf conf;
+  conf.name = "pagerank_delta";
+  conf.state_path = base + "/state";
+  conf.output_path = output_path;
+  conf.max_iterations = max_iterations;
+  // Count-changed distance: bulk runs stop when no node's state moved —
+  // the same iteration a workset run's frontier drains.
+  conf.distance_threshold = 0.5;
+  conf.params.set_double(kDampingParam, damping);
+  conf.params.set_double(kDeltaThresholdParam, delta_threshold);
+
+  class PrDeltaMapper : public IterMapper {
+   public:
+    void configure(const Params& params) override {
+      damping_ = params.get_double(kDampingParam);
+      threshold_ = params.get_double(kDeltaThresholdParam);
+    }
+    void map(const Bytes& key, const Bytes& state, const Bytes& stat,
+             IterEmitter& out) override {
+      double rank, delta;
+      PageRank::decode_delta(state, rank, delta);
+      if (std::abs(delta) > threshold_ && !stat.empty()) {
+        std::vector<uint32_t> adj = decode_adj(stat);
+        if (!adj.empty()) {
+          double share = damping_ * delta / static_cast<double>(adj.size());
+          for (uint32_t v : adj) out.emit(u32_key(v), f64_value(share));
+        }
+      }
+      // Retain the banked rank with the delta consumed: whatever shares
+      // arrive at the reduce become the node's next delta.
+      out.emit(key, PageRank::encode_delta(rank, 0.0));
+    }
+
+   private:
+    double damping_ = kDefaultDamping;
+    double threshold_ = 0.0;
+  };
+
+  PhaseConf phase;
+  phase.static_path = base + "/static";
+  phase.mapper = [] { return std::make_unique<PrDeltaMapper>(); };
+  phase.reducer = make_iter_reducer(
+      [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
+        // Size dispatch: the 16-byte retain carries the banked rank, the
+        // 8-byte values are incoming shares.
+        double rank = 0, shares = 0;
+        bool have_retain = false;
+        for (const Bytes& v : values) {
+          if (v.size() == kDeltaStateSize) {
+            double r, d;
+            PageRank::decode_delta(v, r, d);
+            rank = r;
+            have_retain = true;
+          } else {
+            shares += as_f64(v);
+          }
+        }
+        if (have_retain) {
+          out.emit(key, PageRank::encode_delta(rank + shares, shares));
+        } else {
+          // Workset mode only: the key was outside the frontier, so no
+          // retain arrived. Emit the share sum as an 8-byte partial for
+          // merge() to fold into the previous state.
+          out.emit(key, f64_value(shares));
+        }
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        return prev == cur ? 0.0 : 1.0;  // count-changed
+      },
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        if (cur.size() == kDeltaStateSize) return cur;  // retain was present
+        double shares = as_f64(cur);
+        double rank = 0, delta = 0;
+        if (!prev.empty()) PageRank::decode_delta(prev, rank, delta);
+        return PageRank::encode_delta(rank + shares, shares);
+      });
+  conf.phases.push_back(std::move(phase));
+  return conf;
+}
+
+std::vector<double> PageRank::reference_delta(const Graph& g, int iterations,
+                                              double delta_threshold,
+                                              double damping) {
+  const uint32_t n = g.num_nodes();
+  const double r0 = (1.0 - damping) / n;
+  std::vector<double> rank(n, r0);
+  std::vector<double> delta(n, r0);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(n, 0.0);
+    bool any = false;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (std::abs(delta[u]) <= delta_threshold || g.adj[u].empty()) continue;
+      any = true;
+      double share = damping * delta[u] / static_cast<double>(g.adj[u].size());
+      for (const WEdge& e : g.adj[u]) next[e.dst] += share;
+    }
+    for (uint32_t u = 0; u < n; ++u) rank[u] += next[u];
+    delta = std::move(next);
+    if (!any) break;
+  }
+  return rank;
+}
+
+std::vector<double> PageRank::read_result_delta(Cluster& cluster,
+                                                const std::string& output_path,
+                                                uint32_t num_nodes) {
+  std::vector<double> rank(num_nodes, 0.0);
+  for (const auto& part : resolve_input_paths(cluster.dfs(), output_path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      uint32_t u = as_u32(kv.key);
+      IMR_CHECK(u < num_nodes);
+      double r, d;
+      decode_delta(kv.value, r, d);
+      rank[u] = r;
+    }
+  }
+  return rank;
+}
+
 std::vector<double> PageRank::reference(const Graph& g, int iterations,
                                         double damping) {
   const uint32_t n = g.num_nodes();

@@ -48,6 +48,41 @@ struct PageRank {
   static Bytes encode_joined(double rank, const std::vector<uint32_t>& adj);
   static void decode_joined(BytesView joined, double& rank,
                             std::vector<uint32_t>& adj);
+
+  // --- Delta-accumulation formulation (PageRank-with-threshold) ---
+  //
+  // The plain power-iteration job above is NOT workset-eligible: a node's
+  // new rank sums contributions from ALL in-neighbors, so skipping the
+  // unchanged ones silently drops their share. The delta formulation makes
+  // the update accumulative instead: state per node is (rank, delta), rank
+  // accumulates every share ever received plus the (1-d)/|V| base, delta is
+  // the share mass received last iteration and still to be propagated. The
+  // mapper forwards d·delta/deg to out-neighbors only while |delta| exceeds
+  // `delta_threshold` (the "with-threshold" knob that makes convergence
+  // finite) and retains (rank, 0); the reducer folds incoming shares into
+  // both fields. This satisfies the workset monotonic-update contract —
+  // IterReducer::merge reconstructs (rank + shares, shares) from an
+  // 8-byte share-only partial when the node was outside the frontier —
+  // and the fixpoint is the PageRank vector (geometric-series expansion).
+  static void setup_delta(Cluster& cluster, const Graph& g,
+                          const std::string& base,
+                          double damping = kDefaultDamping);
+  static IterJobConf imapreduce_delta(const std::string& base,
+                                      const std::string& output_path,
+                                      int max_iterations,
+                                      double delta_threshold = 0.0,
+                                      double damping = kDefaultDamping);
+  // Synchronous simulation of the delta scheme (same threshold semantics),
+  // for approximate value checks; byte-level checks compare bulk vs workset
+  // runs of the job itself.
+  static std::vector<double> reference_delta(const Graph& g, int iterations,
+                                             double delta_threshold = 0.0,
+                                             double damping = kDefaultDamping);
+  static std::vector<double> read_result_delta(Cluster& cluster,
+                                               const std::string& output_path,
+                                               uint32_t num_nodes);
+  static Bytes encode_delta(double rank, double delta);
+  static void decode_delta(BytesView v, double& rank, double& delta);
 };
 
 }  // namespace imr

@@ -149,6 +149,13 @@ IterJobConf Sssp::imapreduce(const std::string& base,
         double dp = prev.empty() ? kInf : as_f64(prev);
         double dc = cur.empty() ? kInf : as_f64(cur);
         return changed(dp, dc);
+      },
+      // Workset merge: keep the shorter distance. Min is idempotent, so
+      // re-applying an already-applied candidate never moves the state —
+      // exactly the monotonic-update contract workset_mode requires.
+      [](const Bytes&, const Bytes& prev, const Bytes& cur) {
+        if (prev.empty()) return cur;
+        return as_f64(cur) < as_f64(prev) ? cur : prev;
       });
   conf.phases.push_back(std::move(phase));
   return conf;

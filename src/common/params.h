@@ -3,6 +3,7 @@
 // missing keys unless a default is supplied.
 #pragma once
 
+#include <charconv>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,7 +21,13 @@ class Params {
     values_[key] = std::to_string(v);
   }
   void set_double(const std::string& key, double v) {
-    values_[key] = std::to_string(v);
+    // std::to_string is fixed-notation with 6 decimals: it flattens any
+    // value below 5e-7 to "0.000000" (a delta threshold of 1e-7 would reach
+    // the mapper as 0). to_chars emits the shortest exactly-round-tripping
+    // form instead.
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    values_[key] = std::string(buf, res.ptr);
   }
   void set_bool(const std::string& key, bool v) {
     values_[key] = v ? "true" : "false";

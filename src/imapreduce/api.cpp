@@ -36,9 +36,12 @@ class LambdaIterReducer : public IterReducer {
   using ReduceFn =
       std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>;
   using DistFn = std::function<double(const Bytes&, const Bytes&, const Bytes&)>;
+  using MergeFn = std::function<Bytes(const Bytes&, const Bytes&, const Bytes&)>;
 
-  LambdaIterReducer(ReduceFn reduce_fn, DistFn dist_fn)
-      : reduce_fn_(std::move(reduce_fn)), dist_fn_(std::move(dist_fn)) {}
+  LambdaIterReducer(ReduceFn reduce_fn, DistFn dist_fn, MergeFn merge_fn)
+      : reduce_fn_(std::move(reduce_fn)),
+        dist_fn_(std::move(dist_fn)),
+        merge_fn_(std::move(merge_fn)) {}
 
   void reduce(const Bytes& key, const std::vector<Bytes>& values,
               IterEmitter& out) override {
@@ -50,9 +53,14 @@ class LambdaIterReducer : public IterReducer {
     return dist_fn_ ? dist_fn_(key, prev, cur) : 0.0;
   }
 
+  Bytes merge(const Bytes& key, const Bytes& prev, const Bytes& cur) override {
+    return merge_fn_ ? merge_fn_(key, prev, cur) : cur;
+  }
+
  private:
   ReduceFn reduce_fn_;
   DistFn dist_fn_;
+  MergeFn merge_fn_;
 };
 
 }  // namespace
@@ -77,10 +85,13 @@ IterReducerFactory make_iter_reducer(
     std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>
         reduce_fn,
     std::function<double(const Bytes&, const Bytes&, const Bytes&)>
-        distance_fn) {
+        distance_fn,
+    std::function<Bytes(const Bytes&, const Bytes&, const Bytes&)> merge_fn) {
   return [reduce_fn = std::move(reduce_fn),
-          distance_fn = std::move(distance_fn)] {
-    return std::make_unique<LambdaIterReducer>(reduce_fn, distance_fn);
+          distance_fn = std::move(distance_fn),
+          merge_fn = std::move(merge_fn)] {
+    return std::make_unique<LambdaIterReducer>(reduce_fn, distance_fn,
+                                               merge_fn);
   };
 }
 

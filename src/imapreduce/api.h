@@ -82,6 +82,29 @@ class IterReducer {
     (void)cur;
     return 0.0;
   }
+
+  // Workset mode only (IterJobConf::workset_mode): combine the key's
+  // previous state value with `cur`, the value reduce() just produced from
+  // this iteration's candidates. In workset mode the reduce sees only keys
+  // that RECEIVED records this iteration — a key outside the frontier gets
+  // no retained record from its own mapper, so `cur` is computed from the
+  // incoming candidates alone and must be reconciled against `prev` here.
+  //
+  // The monotonic-update contract (DESIGN.md §7): merge must be such that
+  // re-applying any already-applied candidate is a no-op — i.e. the state
+  // only ever moves toward the fixpoint, and stale or duplicate candidate
+  // deliveries (rollback replay restores the exact frontier, but a reducer
+  // must not DEPEND on exactly-once application) cannot move it backwards.
+  // Selective reducers (min/max) satisfy it with merge = min(prev, cur);
+  // accumulative ones must carry enough state to make the update idempotent
+  // (see PageRank::imapreduce_delta). `prev` is empty when the key has no
+  // state yet; the default keeps `cur`, which is correct only for reducers
+  // whose reduce() output already dominates the previous value.
+  virtual Bytes merge(const Bytes& key, const Bytes& prev, const Bytes& cur) {
+    (void)key;
+    (void)prev;
+    return cur;
+  }
 };
 
 using IterMapperFactory = std::function<std::unique_ptr<IterMapper>()>;
@@ -102,6 +125,8 @@ IterReducerFactory make_iter_reducer(
     std::function<void(const Bytes&, const std::vector<Bytes>&, IterEmitter&)>
         reduce_fn,
     std::function<double(const Bytes&, const Bytes&, const Bytes&)> distance_fn =
+        nullptr,
+    std::function<Bytes(const Bytes&, const Bytes&, const Bytes&)> merge_fn =
         nullptr);
 
 }  // namespace imr

@@ -61,6 +61,18 @@ struct IterJobConf {
   int max_iterations = 10;           // mapred.iterjob.maxiter
   double distance_threshold = -1.0;  // mapred.iterjob.disthresh
 
+  // Workset (frontier) iteration, the bulk-vs-incremental split of *Spinning
+  // Fast Iterative Data Flows* (DESIGN.md §7). When enabled, each reduce
+  // task tracks which state records its iteration actually CHANGED and ships
+  // only those to its paired map — the next iteration's map phase visits the
+  // active frontier instead of every key, joining per-key against the static
+  // index. A third termination path joins the §3.1.2 protocol: the master
+  // merges per-task workset sizes and terminates when the global workset
+  // drains to zero. Requires a single-phase one2one job whose reducer obeys
+  // the monotonic-update contract (IterReducer::merge); bulk mode stays
+  // byte-for-byte available in the same binary for A/B verification.
+  bool workset_mode = false;
+
   // §3.3: asynchronous map execution. When false (mapred.iterjob.sync), the
   // phase-0 maps of iteration k+1 wait for the master's decision on
   // iteration k — the behaviour labeled "iMapReduce (sync.)" in Figs. 4–7.
@@ -111,6 +123,14 @@ struct IterJobConf {
     if (load_balancing && checkpoint_every <= 0) {
       throw ConfigError(
           "load balancing migrates from checkpoints; set checkpoint_every");
+    }
+    if (workset_mode && !single_one2one) {
+      throw ConfigError("workset_mode supports single-phase one2one jobs");
+    }
+    if (workset_mode && aux) {
+      throw ConfigError(
+          "workset_mode is incompatible with auxiliary phases: the frontier "
+          "map emits no per-iteration side-output stream to feed them");
     }
     if (aux && (!aux->mapper || !aux->reducer)) {
       throw ConfigError("auxiliary phase missing mapper or reducer");

@@ -14,6 +14,8 @@ Bytes CtlMsg::encode() const {
   encode_u32(static_cast<uint32_t>(worker), b);
   encode_f64(distance, b);
   encode_i64(duration_ns, b);
+  encode_i64(workset_size, b);
+  encode_i64(state_records, b);
   return b;
 }
 
@@ -28,6 +30,8 @@ CtlMsg CtlMsg::decode(const Bytes& b) {
   m.worker = static_cast<int32_t>(decode_u32(b, pos));
   m.distance = decode_f64(b, pos);
   m.duration_ns = decode_i64(b, pos);
+  m.workset_size = decode_i64(b, pos);
+  m.state_records = decode_i64(b, pos);
   return m;
 }
 

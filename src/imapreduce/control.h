@@ -30,6 +30,14 @@ struct CtlMsg {
   int32_t worker = -1;    // reporting worker (reports, failure notices)
   double distance = 0.0;  // local distance (reports)
   int64_t duration_ns = 0;  // iteration processing time (reports)
+  // Workset mode (DESIGN.md §7): number of state records this reduce task
+  // CHANGED in the reported iteration — the master sums these and terminates
+  // when the global workset drains to 0. Always 0 in bulk mode.
+  int64_t workset_size = 0;  // kReport
+  // Final state-record count of the task's partition; the master sums these
+  // into RunReport::final_state_records for the InvariantChecker's
+  // state-conservation rule.
+  int64_t state_records = 0;  // kDone
 
   Bytes encode() const;
   static CtlMsg decode(const Bytes& b);

@@ -373,6 +373,14 @@ class JobRun {
                                            static_cast<uint32_t>(T_),
                                            ctx.worker(), &ctx.vt());
     }
+    // Workset mode restores the exact FRONTIER the checkpoint iteration
+    // produced, not the full state: replaying the full state would revisit
+    // every key (re-applying updates an accumulative reducer already
+    // absorbed) and make the recovered run diverge from the fault-free one.
+    if (conf_.workset_mode) {
+      return ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/workset-" +
+                              std::to_string(i));
+    }
     return ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/part-" +
                             std::to_string(i));
   }
@@ -426,6 +434,12 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
   const bool one2all = ph.mapping == Mapping::kOne2All;
   const bool is_phase0 = (p == 0);
+  // Workset mode (DESIGN.md §7): the paired reduce ships only CHANGED
+  // records, so the batches arriving here are the active frontier, not the
+  // full state. The map body is unchanged — it joins and maps whatever
+  // arrives — but the iteration span is named distinctly so traces show
+  // frontier iterations at a glance.
+  const bool workset = conf_.workset_mode;
   const bool sync_gate = is_phase0 && !conf_.async_maps && !one2all;
   const int eos_target = one2all ? T_ : 1;
   const int num_aux =
@@ -478,9 +492,16 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
 
   static const Bytes kEmpty;
 
+  // Per-iteration mapped-record count. The workset A/B benches read the
+  // total to show the frontier shrinking (bulk maps every key, every
+  // iteration); per-iteration frontier sizes come from the master's
+  // workset_size series.
+  int64_t iter_input_records = 0;
+
   // Hash join against the static index (§3.2.2): one probe per record.
   auto process_one2one_batch = [&](const KVVec& batch) {
     ThreadCpuTimer cpu;
+    iter_input_records += static_cast<int64_t>(batch.size());
     for (const KV& kv : batch) {
       const Bytes* sv = static_store.find(kv.key);
       mapper->map(kv.key, kv.value, sv ? *sv : kEmpty, emitter);
@@ -489,6 +510,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   };
   auto process_one2all = [&](KVVec& states) {
     ThreadCpuTimer cpu;
+    iter_input_records += static_cast<int64_t>(static_store.records().size());
     // Deterministic order regardless of broadcast arrival interleaving.
     // Reduce pushes already arrive key-sorted per sender, so steady-state
     // iterations (single sender, or luckily ordered interleavings) skip the
@@ -551,6 +573,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       mapper->flush(emitter);
       ctx.charge_compute(cpu.elapsed_ns());
     }
+    if (iter_input_records > 0) {
+      cluster_.metrics().inc("imr_map_input_records", iter_input_records);
+      iter_input_records = 0;
+    }
     TraceSpan flush_span("shuffle_flush", ctx.vt(), iter, gen);
     flush_buffers(iter, /*final_flush=*/true);
     // Injection point: died after flushing shuffle data but before any EOS —
@@ -590,7 +616,8 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   }
 
   while (true) {
-    TraceSpan iter_span("map_iter", ctx.vt(), k, gen);
+    TraceSpan iter_span(workset ? "map_iter_frontier" : "map_iter", ctx.vt(),
+                        k, gen);
     // Injection point: died while working on iteration k, before its shuffle
     // output exists.
     if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidMap, k,
@@ -713,6 +740,11 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
   const PhaseConf& ph = conf_.phases[static_cast<std::size_t>(p)];
   const bool last_phase = (p == P_ - 1);
   const bool is_phase0 = (p == 0);
+  // Workset mode (DESIGN.md §7): this reduce reconciles each produced value
+  // against the key's previous state via IterReducer::merge and ships ONLY
+  // the keys whose state changed — the shipped set IS the next iteration's
+  // frontier. conf validation guarantees single-phase one2one here.
+  const bool workset = conf_.workset_mode;
   const int next_p = (p + 1) % P_;
   const Mapping next_mapping =
       conf_.phases[static_cast<std::size_t>(next_p)].mapping;
@@ -849,6 +881,7 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
         done_msg.task = i;
         done_msg.iteration = k - 1;
         done_msg.generation = gen;
+        done_msg.state_records = static_cast<int64_t>(state_map.size());
         task_send_ctl(ctx, done_msg);
       }
       return;
@@ -906,9 +939,16 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       }
     };
 
+    // Whether iteration k checkpoints — decided up front so the workset
+    // changed-set can be collected inline while the groups stream through.
+    const bool ckpt_due = last_phase && conf_.checkpoint_every > 0 &&
+                          k % conf_.checkpoint_every == 0;
     KVVec output;  // full iteration output, kept for the aux copy
+    KVVec ckpt_workset;  // changed records of a checkpoint iteration
     KVVec pending_batch;
     double local_distance = 0;
+    int64_t changed_count = 0;
+    static const Bytes kNoPrev;
     ThreadCpuTimer cpu;
     // Zero-copy grouping: the cursor walks key runs in place and the values
     // adapter MOVES each run's values out of `records` (consumed by this
@@ -922,6 +962,26 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       reducer->reduce(groups.key(), group_vals.take(records, groups),
                       group_emitter);
       for (KV& kv : produced) {
+        if (workset) {
+          // Reconcile against the previous state. Only keys whose merged
+          // value differs enter the next frontier; an unchanged key ships
+          // nothing, so the paired map never revisits it.
+          auto it = state_map.find(kv.key);
+          const Bytes& prev = it == state_map.end() ? kNoPrev : it->second;
+          Bytes merged = reducer->merge(kv.key, prev, kv.value);
+          local_distance += reducer->distance(kv.key, prev, merged);
+          if (it != state_map.end() && merged == it->second) continue;
+          if (it == state_map.end()) {
+            state_map.emplace(kv.key, merged);
+          } else {
+            it->second = merged;
+          }
+          kv.value = std::move(merged);
+          ++changed_count;
+          if (ckpt_due) ckpt_workset.push_back(kv);
+          pending_batch.push_back(std::move(kv));
+          continue;
+        }
         if (last_phase) {
           auto it = state_map.find(kv.key);
           const Bytes& prev = it == state_map.end() ? Bytes{} : it->second;
@@ -960,8 +1020,7 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
 
     // Checkpoint (§3.4.1) — written in parallel with the iteration, so it is
     // charged on a detached clock and does not delay the pipeline.
-    if (last_phase && conf_.checkpoint_every > 0 &&
-        k % conf_.checkpoint_every == 0) {
+    if (ckpt_due) {
       VClock parallel_clock(ctx.vt().now_ns());
       // Injection point: died DURING the checkpoint dump, leaving a torn
       // (truncated) part file behind. Because the Report for iteration k is
@@ -992,6 +1051,17 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
         TraceSpan ckpt_span("checkpoint", parallel_clock, k, gen);
         dump_state(ckpt_path(k), &parallel_clock,
                    TrafficCategory::kCheckpoint);
+        if (workset) {
+          // The changed-set rides along with the full state: recovery
+          // restores the exact frontier of iteration k, so the replay is
+          // record-identical to the fault-free run (replaying the full
+          // state would double-apply updates for accumulative reducers).
+          sort_records(ckpt_workset, /*sort_values=*/false);
+          cluster_.dfs().write_file(
+              ckpt_path(k) + "/workset-" + std::to_string(i),
+              std::move(ckpt_workset), ctx.worker(), &parallel_clock,
+              TrafficCategory::kCheckpoint);
+        }
       }
       cluster_.metrics().inc("imr_checkpoints");
     }
@@ -1033,6 +1103,7 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       report.worker = ctx.worker();
       report.distance = local_distance;
       report.duration_ns = ctx.vt().now_ns() - prev_end_vt;
+      report.workset_size = workset ? changed_count : 0;
       task_send_ctl(ctx, report);
     }
     prev_end_vt = ctx.vt().now_ns();
@@ -1205,6 +1276,7 @@ void JobRun::master_loop(VClock& mvt) {
   struct PendingIter {
     int reports = 0;
     double distance = 0;
+    int64_t workset = 0;  // summed changed-record counts (workset mode)
     std::map<int, int64_t> worker_dur;  // worker -> max duration
   };
   std::map<int, PendingIter> pending;  // iteration -> reports (current gen)
@@ -1358,8 +1430,10 @@ void JobRun::master_loop(VClock& mvt) {
         ++done_count;
         final_vt_ = std::max(final_vt_, mvt.now_ns());
         // Output-consistency audit: the iteration each part file was dumped
-        // at (the InvariantChecker asserts they all agree).
+        // at (the InvariantChecker asserts they all agree), plus the part's
+        // record count for the state-conservation rule.
         report_.final_part_iterations.push_back(ctl.iteration);
+        report_.final_state_records += ctl.state_records;
         break;
       }
       case CtlType::kAuxSignal: {
@@ -1428,6 +1502,7 @@ void JobRun::master_loop(VClock& mvt) {
         PendingIter& pi = pending[ctl.iteration];
         ++pi.reports;
         pi.distance += ctl.distance;
+        pi.workset += ctl.workset_size;
         int64_t& dur = pi.worker_dur[ctl.worker];
         dur = std::max(dur, ctl.duration_ns);
         if (ctl.iteration != decided + 1 || pi.reports < T_) break;
@@ -1445,6 +1520,7 @@ void JobRun::master_loop(VClock& mvt) {
           st.iteration = decided;
           st.wall_ms_end = mvt.now_ms();
           st.distance = done_iter.distance;
+          if (conf_.workset_mode) st.workset_size = done_iter.workset;
           report_.iterations.push_back(st);
           iter_hist.record(static_cast<int64_t>(
               (st.wall_ms_end - last_decided_wall_ms) * 1000.0));
@@ -1452,16 +1528,25 @@ void JobRun::master_loop(VClock& mvt) {
         }
         TraceRecorder::instance().instant("iteration_decided", mvt.now_ns(),
                                           decided, generation);
+        if (conf_.workset_mode) {
+          TraceRecorder::instance().counter("workset_size", mvt.now_ns(),
+                                            done_iter.workset);
+        }
         cluster_.metrics().inc("imr_iterations");
         IMR_INFO << tag_ << " iteration " << decided << " done at "
                  << mvt.now_ms() << " ms, distance " << done_iter.distance;
 
+        // Drain termination (DESIGN.md §7): a workset run whose merged
+        // changed-record count hits zero has reached its fixpoint — nothing
+        // would be mapped next iteration, so the job stops here.
+        const bool drained = conf_.workset_mode && done_iter.workset == 0;
         bool stop = decided >= conf_.max_iterations ||
                     (conf_.distance_threshold >= 0 &&
                      done_iter.distance < conf_.distance_threshold) ||
-                    decided >= aux_stop_at;
+                    drained || decided >= aux_stop_at;
         if (stop) {
           report_.converged =
+              drained ||
               decided < conf_.max_iterations ||
               (conf_.distance_threshold >= 0 &&
                done_iter.distance < conf_.distance_threshold);

@@ -105,6 +105,48 @@ std::vector<std::string> InvariantChecker::check(
                      static_cast<int>(r.rollback_iterations.size()) -
                          r.migration_rollbacks));
     }
+
+    // 7. State conservation (frontier-aware): checked on the final state,
+    // not on channel transfers — workset map phases legitimately see fewer
+    // records than keys, so only the end-of-run state must balance.
+    if (expect.expected_state_records >= 0 &&
+        r.final_state_records != expect.expected_state_records) {
+      fail(strprintf("final state holds %lld records, expected %lld",
+                     static_cast<long long>(r.final_state_records),
+                     static_cast<long long>(expect.expected_state_records)));
+    }
+
+    // 8. Workset ledger.
+    for (std::size_t n = 0; n < r.iterations.size(); ++n) {
+      int64_t ws = r.iterations[n].workset_size;
+      int iter = r.iterations[n].iteration;
+      if (!expect.workset_mode) {
+        if (ws != -1) {
+          fail(strprintf("bulk run recorded workset size %lld at iteration "
+                         "%d; expected the -1 sentinel",
+                         static_cast<long long>(ws), iter));
+        }
+        continue;
+      }
+      if (ws < 0) {
+        fail(strprintf("workset run missing workset size at iteration %d",
+                       iter));
+        continue;
+      }
+      if (expect.expected_state_records >= 0 &&
+          ws > expect.expected_state_records) {
+        fail(strprintf("workset size %lld at iteration %d exceeds the %lld "
+                       "state records",
+                       static_cast<long long>(ws), iter,
+                       static_cast<long long>(
+                           expect.expected_state_records)));
+      }
+      if (ws == 0 && n + 1 < r.iterations.size()) {
+        fail(strprintf("workset drained at iteration %d but the run kept "
+                       "iterating past its fixpoint",
+                       iter));
+      }
+    }
   }
   if (expect.expected_recoveries >= 0 &&
       metrics_.count("imr_recoveries") != expect.expected_recoveries) {

@@ -24,7 +24,18 @@
 //      except across a recorded rollback, where they restart at
 //      rollback + 1 (exactly-once application of every decided iteration);
 //   6. recovery accounting   — the master recovered exactly once per
-//      injected worker death.
+//      injected worker death;
+//   7. state conservation    — the final state holds exactly the expected
+//      number of records. Conservation is checked on the FINAL STATE, not
+//      on per-iteration channel transfers: a workset-mode map phase
+//      legitimately receives fewer records than there are keys (only the
+//      frontier is shipped), so counting channel sends against the key
+//      count would trip false positives on every frontier iteration;
+//   8. workset ledger        — bulk runs record no workset sizes (-1
+//      sentinel everywhere); workset runs record a non-negative size per
+//      decided iteration, never exceeding the state record count, and a
+//      drained (zero) workset appears only on the final iteration —
+//      anywhere earlier means the run kept iterating past its fixpoint.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +67,13 @@ struct InvariantExpectations {
   int expected_recoveries = -1;
   // Exact number of final part files / Done notices (-1 = skip).
   int expected_parts = -1;
+  // Exact number of records the final state must hold across all part files
+  // (-1 = skip). Checked against RunReport::final_state_records — the
+  // frontier-aware conservation rule (invariant 7).
+  int64_t expected_state_records = -1;
+  // Whether the run was a workset-mode run; drives the workset ledger rule
+  // (invariant 8) in both directions.
+  bool workset_mode = false;
 };
 
 class InvariantChecker {

@@ -185,6 +185,9 @@ struct IterationStat {
   double wall_ms_end = 0.0;   // wall time from run start to end of iteration
   double init_ms = 0.0;       // job+task init charged during this iteration
   double distance = 0.0;      // merged convergence distance (if measured)
+  // Workset mode: total records changed across all reduce tasks this
+  // iteration (the size of the next frontier); -1 in bulk mode.
+  int64_t workset_size = -1;
 };
 
 struct RunReport {
@@ -201,6 +204,12 @@ struct RunReport {
   std::vector<int> rollback_iterations;
   int migration_rollbacks = 0;
   std::vector<int> final_part_iterations;
+  // Total state records across all final part files (summed from the tasks'
+  // Done notices). The InvariantChecker's conservation rule compares this
+  // against the expected key count — frontier-only map phases legitimately
+  // send fewer records than there are keys, so conservation is checked on
+  // the final state, not on per-iteration channel transfers.
+  int64_t final_state_records = 0;
   // Snapshot of key totals at end of run. The per-category byte fields
   // cover every category of the Fig. 11 communication decomposition, so the
   // decomposition can be computed from a report alone, without a live

@@ -82,6 +82,22 @@ inline FaultEvent derive_fault(uint64_t seed, int num_workers,
   return e;
 }
 
+// Expectations for a workset-mode run over `state_records` keys: arms the
+// frontier-aware conservation rule (invariant 7) and the workset ledger
+// (invariant 8) on top of the usual channel/recovery checks. Workset map
+// phases legitimately transfer fewer records than there are keys, so the
+// conservation check binds the *final state*, not per-iteration traffic.
+inline InvariantExpectations workset_expectations(int64_t state_records,
+                                                  int expected_parts = -1,
+                                                  int expected_recoveries = -1) {
+  InvariantExpectations expect;
+  expect.workset_mode = true;
+  expect.expected_state_records = state_records;
+  expect.expected_parts = expected_parts;
+  expect.expected_recoveries = expected_recoveries;
+  return expect;
+}
+
 // Post-run hygiene: every scheduled fault must have fired and been consumed.
 // A sweep case that leaves events pending was not actually exercised.
 inline void expect_all_faults_consumed(Cluster& cluster) {

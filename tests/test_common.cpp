@@ -197,5 +197,17 @@ TEST(Params, TypedAccessors) {
   EXPECT_THROW(p.get("missing"), ConfigError);
 }
 
+TEST(Params, DoublesRoundTripExactly) {
+  // std::to_string would flatten sub-5e-7 magnitudes to "0.000000" — a
+  // workset delta threshold of 1e-7 must survive the string encoding
+  // bit-for-bit, as must irrational-looking constants and extremes.
+  Params p;
+  for (double v : {1e-7, 1e-9, 2.5e-17, 0.8, 1.0 / 3.0, 6.02214076e23,
+                   -1e-300, 0.0}) {
+    p.set_double("d", v);
+    EXPECT_EQ(p.get_double("d"), v) << "value " << v;
+  }
+}
+
 }  // namespace
 }  // namespace imr

@@ -1,0 +1,545 @@
+// Workset (frontier) iteration equivalence suite.
+//
+// The load-bearing property: a workset-mode run — where each iteration's map
+// phase visits only the records the previous reduce actually changed — must
+// produce the SAME final state, byte for byte, as the bulk run of the same
+// job, across randomized graphs, skews, partition counts, and seeds, with
+// and without injected worker deaths. SSSP and connected components get the
+// guarantee from min-merge idempotence; PageRank-with-threshold uses the
+// delta-accumulation formulation, whose correctness additionally depends on
+// checkpoints restoring the *exact* frontier (replaying a wrong frontier
+// double-applies share mass — exactly what the chaos sweep would catch).
+//
+// Also here: the InvariantChecker's frontier-aware rules (7: conservation on
+// the final state, not per-iteration transfers; 8: the workset ledger in
+// both bulk and workset directions), and the conf validation gates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/concomp.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "cluster/fault_schedule.h"
+#include "common/error.h"
+#include "graph/generator.h"
+#include "imapreduce/conf.h"
+#include "imapreduce/engine.h"
+#include "mapreduce/engine.h"  // resolve_input_paths
+#include "metrics/invariants.h"
+#include "tests/chaos_harness.h"
+#include "tests/test_util.h"
+
+namespace imr {
+namespace {
+
+using chaos::run_chaos_job;
+using chaos::workset_expectations;
+using testutil::expect_near_vectors;
+
+enum class WsAlgo { kSssp, kConComp, kPrDelta };
+
+const char* algo_name(WsAlgo a) {
+  switch (a) {
+    case WsAlgo::kSssp:
+      return "Sssp";
+    case WsAlgo::kConComp:
+      return "ConComp";
+    case WsAlgo::kPrDelta:
+      return "PrDelta";
+  }
+  return "?";
+}
+
+// Share-emission thresholds for PageRank-with-threshold. The chaos value is
+// small enough that share mass stays above it along the 6-node tail chain
+// (shares decay by the damping factor per hop), keeping the frontier alive
+// long enough for every injection point to fire before the drain.
+constexpr double kPrTheta = 1e-4;
+constexpr double kPrThetaChaos = 1e-6;
+
+// Raw final state: key -> value bytes across all part files. Byte-level on
+// purpose — float tolerance would hide exactly the class of bug (dropped or
+// double-applied updates) this suite exists to catch.
+std::map<Bytes, Bytes> read_state(Cluster& cluster, const std::string& path) {
+  std::map<Bytes, Bytes> state;
+  for (const auto& part : resolve_input_paths(cluster.dfs(), path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      state[kv.key] = kv.value;
+    }
+  }
+  return state;
+}
+
+// Randomized graph for the clean sweep: node count, degree skew, and edge
+// seed all vary with the case seed.
+Graph sweep_graph(WsAlgo algo, uint64_t seed) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 60 + static_cast<uint32_t>((seed * 37) % 120);
+  spec.degree_mu = 0.4 + 0.4 * static_cast<double>(seed % 4);
+  spec.degree_sigma = 0.6 + 0.3 * static_cast<double>(seed % 3);
+  spec.weighted = algo == WsAlgo::kSssp;
+  spec.seed = 1000 * seed + 17 + static_cast<uint64_t>(algo);
+  return generate_lognormal_graph(spec);
+}
+
+// Appends a directed path of `len` extra nodes hanging off node 0. State
+// needs >= len iterations to propagate to the tail's end, so convergence is
+// guaranteed to take at least that many rounds — the chaos sweep derives its
+// injection iteration from the observed drain point and needs headroom.
+Graph with_tail(Graph g, int len) {
+  uint32_t prev = 0;
+  for (int t = 0; t < len; ++t) {
+    auto node = static_cast<uint32_t>(g.adj.size());
+    g.adj.emplace_back();
+    g.adj[prev].push_back(WEdge{node, 1.0});
+    prev = node;
+  }
+  return g;
+}
+
+Graph chaos_graph(WsAlgo algo, uint64_t seed) {
+  LogNormalGraphSpec spec;
+  spec.num_nodes = 90 + static_cast<uint32_t>(seed % 3) * 20;
+  spec.degree_mu = 1.0;
+  spec.degree_sigma = 0.8;
+  spec.weighted = algo == WsAlgo::kSssp;
+  spec.seed = 7000 + 13 * seed + static_cast<uint64_t>(algo);
+  return with_tail(generate_lognormal_graph(spec), 6);
+}
+
+void setup_algo(WsAlgo algo, Cluster& cluster, const Graph& g,
+                const std::string& base) {
+  switch (algo) {
+    case WsAlgo::kSssp:
+      Sssp::setup(cluster, g, 0, base);
+      break;
+    case WsAlgo::kConComp:
+      ConComp::setup(cluster, g, base);
+      break;
+    case WsAlgo::kPrDelta:
+      PageRank::setup_delta(cluster, g, base);
+      break;
+  }
+}
+
+IterJobConf make_conf(WsAlgo algo, const std::string& base,
+                      const std::string& out, int max_iterations,
+                      double theta) {
+  switch (algo) {
+    case WsAlgo::kSssp:
+      return Sssp::imapreduce(base, out, max_iterations, /*threshold=*/0.5);
+    case WsAlgo::kConComp:
+      return ConComp::imapreduce(base, out, max_iterations,
+                                 /*threshold=*/0.5);
+    case WsAlgo::kPrDelta:
+      return PageRank::imapreduce_delta(base, out, max_iterations, theta);
+  }
+  return {};
+}
+
+// Sanity: the (byte-identical) results also match the sequential references.
+void check_values(WsAlgo algo, Cluster& cluster, const Graph& g,
+                  const std::string& out, int iterations, double theta) {
+  const uint32_t n = g.num_nodes();
+  switch (algo) {
+    case WsAlgo::kSssp:
+      expect_near_vectors(Sssp::reference(g, 0, iterations),
+                          Sssp::read_result_imr(cluster, out, n), 1e-12);
+      break;
+    case WsAlgo::kConComp:
+      EXPECT_EQ(ConComp::reference_rounds(g, iterations),
+                ConComp::read_result_imr(cluster, out, n));
+      break;
+    case WsAlgo::kPrDelta:
+      // Same scheme, different float summation order: tight but not exact.
+      expect_near_vectors(PageRank::reference_delta(g, iterations, theta),
+                          PageRank::read_result_delta(cluster, out, n), 1e-9);
+      break;
+  }
+}
+
+int max_iterations_for(WsAlgo algo) {
+  return algo == WsAlgo::kPrDelta ? 80 : 60;
+}
+
+// ---------------------------------------------------------------------------
+// Clean sweep: 10 seeds x 3 algorithms. Bulk first (count-changed threshold),
+// then workset on the same cluster with the distance check disabled entirely
+// (threshold -1): the drain is the ONLY way the workset run can converge.
+// ---------------------------------------------------------------------------
+
+using EquivParam = std::tuple<uint64_t, WsAlgo>;
+
+class WorksetEquivalence : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(WorksetEquivalence, MatchesBulkByteForByte) {
+  const auto [seed, algo] = GetParam();
+  const Graph g = sweep_graph(algo, seed);
+  const auto n = static_cast<int64_t>(g.num_nodes());
+  const int tasks = 2 + static_cast<int>(seed % 3);
+  const int max_iter = max_iterations_for(algo);
+
+  auto cluster = testutil::free_cluster(3, 4, 4);
+  setup_algo(algo, *cluster, g, "in");
+
+  IterJobConf bulk = make_conf(algo, "in", "out_bulk", max_iter, kPrTheta);
+  bulk.num_tasks = tasks;
+  IterJobConf ws = make_conf(algo, "in", "out_ws", max_iter, kPrTheta);
+  ws.num_tasks = tasks;
+  ws.workset_mode = true;
+  ws.distance_threshold = -1.0;
+
+  InvariantExpectations bulk_expect;
+  bulk_expect.expected_parts = tasks;
+  bulk_expect.expected_state_records = n;
+  auto bulk_run =
+      run_chaos_job(*cluster, bulk, FaultSchedule{}, ChannelFaultConfig{},
+                    bulk_expect);
+  EXPECT_TRUE(bulk_run.violations.empty())
+      << ::testing::PrintToString(bulk_run.violations);
+  ASSERT_TRUE(bulk_run.report.converged);
+  const int k_star = bulk_run.report.iterations_run;
+  // Bulk maps every record every iteration — plus up to two speculative
+  // iterations' worth: async maps run ahead of the master's decision, so the
+  // final full-state push is often consumed before the terminate lands.
+  const int64_t bulk_mapped = cluster->metrics().count("imr_map_input_records");
+  EXPECT_GE(bulk_mapped, n * k_star);
+  EXPECT_LE(bulk_mapped, n * (k_star + 2));
+
+  auto ws_run = run_chaos_job(*cluster, ws, FaultSchedule{},
+                              ChannelFaultConfig{},
+                              workset_expectations(n, tasks));
+  EXPECT_TRUE(ws_run.violations.empty())
+      << ::testing::PrintToString(ws_run.violations);
+  ASSERT_TRUE(ws_run.report.converged);
+
+  // Same fixpoint, same iteration: the drain fires exactly where the bulk
+  // count-changed distance hits zero.
+  EXPECT_EQ(ws_run.report.iterations_run, k_star);
+
+  // The property under test: byte-identical final state.
+  auto bulk_state = read_state(*cluster, "out_bulk");
+  auto ws_state = read_state(*cluster, "out_ws");
+  ASSERT_EQ(bulk_state.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(bulk_state, ws_state)
+      << "workset final state diverged from bulk (seed=" << seed
+      << ", algo=" << algo_name(algo) << ")";
+
+  // Frontier ledger: the map phase visits the full state once (iteration 1),
+  // then exactly the previous iteration's changed set. The last iteration's
+  // workset is the empty frontier that triggered termination.
+  const auto& stats = ws_run.report.iterations;
+  ASSERT_EQ(static_cast<int>(stats.size()), k_star);
+  EXPECT_EQ(stats.back().workset_size, 0);
+  int64_t expected_mapped = n;
+  for (std::size_t j = 0; j + 1 < stats.size(); ++j) {
+    expected_mapped += stats[j].workset_size;
+  }
+  const int64_t ws_mapped =
+      cluster->metrics().count("imr_map_input_records") - bulk_mapped;
+  EXPECT_EQ(ws_mapped, expected_mapped);
+  EXPECT_LE(ws_mapped, bulk_mapped);
+
+  check_values(algo, *cluster, g, "out_ws", k_star, kPrTheta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByAlgos, WorksetEquivalence,
+    ::testing::Combine(
+        ::testing::Values(uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{4},
+                          uint64_t{5}, uint64_t{6}, uint64_t{7}, uint64_t{8},
+                          uint64_t{9}, uint64_t{10}),
+        ::testing::Values(WsAlgo::kSssp, WsAlgo::kConComp, WsAlgo::kPrDelta)),
+    [](const ::testing::TestParamInfo<EquivParam>& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             "_" + algo_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Chaos sweep: 3 seeds x 5 injection points x 3 algorithms. A clean workset
+// run pins the reference bytes and the drain iteration k*; the fault is then
+// derived to strike no later than k*-2, so every point fires before the
+// frontier empties (and a checkpoint iteration remains in range). The
+// recovered run must land on the same drain iteration with the same bytes —
+// which in particular proves the checkpointed changed-set restores the exact
+// frontier (a superset frontier would double-apply delta-PageRank shares).
+// ---------------------------------------------------------------------------
+
+using WsChaosParam = std::tuple<uint64_t, FaultPoint, WsAlgo>;
+
+class WorksetChaosSweep : public ::testing::TestWithParam<WsChaosParam> {};
+
+TEST_P(WorksetChaosSweep, RecoversToIdenticalBytes) {
+  const auto [seed, point, algo] = GetParam();
+  constexpr int kWorkers = 3;
+  constexpr int kTasks = 4;
+  const Graph g = chaos_graph(algo, seed);
+  const auto n = static_cast<int64_t>(g.num_nodes());
+
+  IterJobConf conf = make_conf(algo, "in", "out",
+                               max_iterations_for(algo), kPrThetaChaos);
+  conf.num_tasks = kTasks;
+  conf.checkpoint_every = 2;
+  conf.workset_mode = true;
+  conf.distance_threshold = -1.0;
+
+  // Failure-free reference run.
+  auto clean = testutil::free_cluster(kWorkers, 4, 4);
+  setup_algo(algo, *clean, g, "in");
+  auto clean_run = run_chaos_job(*clean, conf, FaultSchedule{},
+                                 ChannelFaultConfig{},
+                                 workset_expectations(n, kTasks));
+  EXPECT_TRUE(clean_run.violations.empty())
+      << ::testing::PrintToString(clean_run.violations);
+  ASSERT_TRUE(clean_run.report.converged);
+  const int k_star = clean_run.report.iterations_run;
+  ASSERT_GE(k_star, 4) << "tail chain failed to delay the drain";
+  const auto reference = read_state(*clean, "out");
+
+  // Same job under a seed-derived worker death.
+  auto faulty = testutil::free_cluster(kWorkers, 4, 4);
+  setup_algo(algo, *faulty, g, "in");
+  FaultSchedule schedule;
+  schedule.add(chaos::derive_fault(seed, kWorkers,
+                                   /*max_iteration=*/k_star - 2, point));
+  auto result = run_chaos_job(*faulty, conf, schedule, ChannelFaultConfig{},
+                              workset_expectations(n, kTasks,
+                                                   /*expected_recoveries=*/1));
+  EXPECT_TRUE(result.violations.empty())
+      << "invariant violations (seed=" << seed
+      << ", point=" << fault_point_name(point)
+      << ", algo=" << algo_name(algo) << "):\n  "
+      << ::testing::PrintToString(result.violations);
+  ASSERT_TRUE(result.report.converged);
+  EXPECT_EQ(result.report.iterations_run, k_star);
+  chaos::expect_all_faults_consumed(*faulty);
+
+  EXPECT_EQ(reference, read_state(*faulty, "out"))
+      << "recovered workset run diverged from the failure-free bytes (seed="
+      << seed << ", point=" << fault_point_name(point)
+      << ", algo=" << algo_name(algo) << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByPointsByAlgos, WorksetChaosSweep,
+    ::testing::Combine(
+        ::testing::Values(uint64_t{1}, uint64_t{2}, uint64_t{3}),
+        ::testing::Values(FaultPoint::kIterationBoundary, FaultPoint::kMidMap,
+                          FaultPoint::kMidShuffle,
+                          FaultPoint::kCheckpointWrite,
+                          FaultPoint::kStatePush),
+        ::testing::Values(WsAlgo::kSssp, WsAlgo::kConComp,
+                          WsAlgo::kPrDelta)),
+    [](const ::testing::TestParamInfo<WsChaosParam>& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             "_" + fault_point_name(std::get<1>(info.param)) + "_" +
+             algo_name(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Targeted regressions
+// ---------------------------------------------------------------------------
+
+// A torn checkpoint has no workset file (the fault strikes before it is
+// written). Recovery must restore the previous complete checkpoint — state
+// AND changed-set together — and replay from there. Delta-PageRank is the
+// algorithm that would notice a wrong frontier: its merge is accumulative,
+// so replaying from a full-state frontier would double-apply share mass.
+TEST(WorksetRegression, TornCheckpointRestoresExactFrontier) {
+  const Graph g = chaos_graph(WsAlgo::kPrDelta, 2);
+  const auto n = static_cast<int64_t>(g.num_nodes());
+
+  IterJobConf conf = PageRank::imapreduce_delta("in", "out", 80,
+                                               kPrThetaChaos);
+  conf.workset_mode = true;
+  conf.distance_threshold = -1.0;
+  conf.checkpoint_every = 2;
+
+  auto clean = testutil::free_cluster(4, 4, 4);
+  PageRank::setup_delta(*clean, g, "in");
+  auto clean_run = run_chaos_job(*clean, conf, FaultSchedule{},
+                                 ChannelFaultConfig{},
+                                 workset_expectations(n));
+  ASSERT_TRUE(clean_run.report.converged);
+  const auto reference = read_state(*clean, "out");
+
+  auto faulty = testutil::free_cluster(4, 4, 4);
+  PageRank::setup_delta(*faulty, g, "in");
+  FaultSchedule schedule;
+  // First checkpoint-write probe at iteration >= 3 is the k=4 dump; the
+  // previous complete checkpoint (with its workset file) is at k=2.
+  schedule.add(/*worker=*/1, FaultPoint::kCheckpointWrite, /*at_iteration=*/3);
+  auto result = run_chaos_job(*faulty, conf, schedule, ChannelFaultConfig{},
+                              workset_expectations(n, /*expected_parts=*/-1,
+                                                   /*expected_recoveries=*/1));
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  EXPECT_EQ(faulty->metrics().count("imr_torn_checkpoints"), 1);
+  ASSERT_EQ(result.report.rollback_iterations, std::vector<int>{2});
+  EXPECT_EQ(result.report.iterations_run, clean_run.report.iterations_run);
+  chaos::expect_all_faults_consumed(*faulty);
+
+  EXPECT_EQ(reference, read_state(*faulty, "out"));
+}
+
+// Cascading failure during recovery (the test_chaos pattern, under workset):
+// worker 1 dies at an iteration boundary; its tasks respawn on worker 0,
+// whose kMigration fault then kills it too, pushing everything to worker 2.
+// Both the state and the frontier must survive two back-to-back rollbacks.
+TEST(WorksetRegression, CascadingFailureDuringRecovery) {
+  const Graph g = chaos_graph(WsAlgo::kSssp, 1);
+  const auto n = static_cast<int64_t>(g.num_nodes());
+
+  IterJobConf conf = Sssp::imapreduce("in", "out", 60);
+  conf.num_tasks = 3;
+  conf.checkpoint_every = 2;
+  conf.workset_mode = true;
+  conf.distance_threshold = -1.0;
+
+  auto clean = testutil::free_cluster(3, 4, 4);
+  Sssp::setup(*clean, g, 0, "in");
+  auto clean_run = run_chaos_job(*clean, conf, FaultSchedule{},
+                                 ChannelFaultConfig{},
+                                 workset_expectations(n, 3));
+  ASSERT_TRUE(clean_run.report.converged);
+  const auto reference = read_state(*clean, "out");
+
+  auto faulty = testutil::free_cluster(3, 4, 4);
+  Sssp::setup(*faulty, g, 0, "in");
+  FaultSchedule schedule;
+  schedule.add(/*worker=*/1, FaultPoint::kIterationBoundary,
+               /*at_iteration=*/3);
+  schedule.add(/*worker=*/0, FaultPoint::kMigration, /*at_iteration=*/1);
+  auto result = run_chaos_job(*faulty, conf, schedule, ChannelFaultConfig{},
+                              workset_expectations(n, 3,
+                                                   /*expected_recoveries=*/2));
+  EXPECT_TRUE(result.violations.empty())
+      << ::testing::PrintToString(result.violations);
+  ASSERT_EQ(result.report.rollback_iterations.size(), 2u);
+  EXPECT_FALSE(faulty->worker_alive(0));
+  EXPECT_FALSE(faulty->worker_alive(1));
+  EXPECT_TRUE(faulty->worker_alive(2));
+  EXPECT_EQ(result.report.iterations_run, clean_run.report.iterations_run);
+  chaos::expect_all_faults_consumed(*faulty);
+
+  EXPECT_EQ(reference, read_state(*faulty, "out"));
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker rules 7 and 8 — synthetic reports, both directions.
+// ---------------------------------------------------------------------------
+
+RunReport synthetic_report(const std::vector<int64_t>& workset_sizes,
+                           int64_t final_state_records) {
+  RunReport r;
+  r.iterations_run = static_cast<int>(workset_sizes.size());
+  r.converged = true;
+  for (std::size_t k = 0; k < workset_sizes.size(); ++k) {
+    IterationStat st;
+    st.iteration = static_cast<int>(k) + 1;
+    st.workset_size = workset_sizes[k];
+    r.iterations.push_back(st);
+  }
+  r.final_state_records = final_state_records;
+  return r;
+}
+
+std::vector<std::string> check_synthetic(const RunReport& report,
+                                         const InvariantExpectations& expect) {
+  MetricsRegistry metrics;
+  return InvariantChecker(metrics).with_report(report).check(expect);
+}
+
+// The regression that motivated rule 7's shape: a workset run whose map
+// phases visit only a sliver of the keys must NOT trip conservation, as long
+// as the final state still holds every record.
+TEST(WorksetInvariants, FrontierRunWithFullFinalStateIsClean) {
+  RunReport report = synthetic_report({100, 7, 2, 0}, 100);
+  auto violations = check_synthetic(report, workset_expectations(100));
+  EXPECT_TRUE(violations.empty()) << ::testing::PrintToString(violations);
+}
+
+TEST(WorksetInvariants, FinalStateShortfallTripsConservation) {
+  RunReport report = synthetic_report({100, 7, 0}, 93);
+  auto violations = check_synthetic(report, workset_expectations(100));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("final state holds 93"), std::string::npos)
+      << violations[0];
+}
+
+TEST(WorksetInvariants, BulkRunMustKeepTheSentinel) {
+  RunReport report = synthetic_report({100, 7, 0}, 100);
+  InvariantExpectations expect;
+  expect.expected_state_records = 100;
+  expect.workset_mode = false;  // but the report carries workset sizes
+  auto violations = check_synthetic(report, expect);
+  ASSERT_EQ(violations.size(), 3u);  // one per non-sentinel entry
+  EXPECT_NE(violations[0].find("-1 sentinel"), std::string::npos)
+      << violations[0];
+}
+
+TEST(WorksetInvariants, WorksetRunMissingSizesIsFlagged) {
+  RunReport report = synthetic_report({100, -1, 0}, 100);
+  auto violations = check_synthetic(report, workset_expectations(100));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("missing workset size"), std::string::npos)
+      << violations[0];
+}
+
+TEST(WorksetInvariants, WorksetLargerThanStateIsFlagged) {
+  RunReport report = synthetic_report({150, 7, 0}, 100);
+  auto violations = check_synthetic(report, workset_expectations(100));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("exceeds"), std::string::npos) << violations[0];
+}
+
+TEST(WorksetInvariants, IteratingPastTheDrainIsFlagged) {
+  RunReport report = synthetic_report({100, 0, 3}, 100);
+  auto violations = check_synthetic(report, workset_expectations(100));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("past its fixpoint"), std::string::npos)
+      << violations[0];
+}
+
+// ---------------------------------------------------------------------------
+// Conf validation gates.
+// ---------------------------------------------------------------------------
+
+TEST(WorksetConf, RejectsMultiPhaseJobs) {
+  IterJobConf conf = Sssp::imapreduce("in", "out", 5);
+  conf.workset_mode = true;
+  conf.phases.push_back(conf.phases[0]);
+  EXPECT_THROW(conf.validate(), ConfigError);
+}
+
+TEST(WorksetConf, RejectsOne2AllJobs) {
+  IterJobConf conf = Sssp::imapreduce("in", "out", 5);
+  conf.workset_mode = true;
+  conf.phases[0].mapping = Mapping::kOne2All;
+  EXPECT_THROW(conf.validate(), ConfigError);
+}
+
+TEST(WorksetConf, RejectsAuxiliaryPhases) {
+  IterJobConf conf = Sssp::imapreduce("in", "out", 5);
+  conf.workset_mode = true;
+  AuxConf aux;
+  aux.mapper = conf.phases[0].mapper;
+  aux.reducer = conf.phases[0].reducer;
+  conf.aux = aux;
+  EXPECT_THROW(conf.validate(), ConfigError);
+}
+
+TEST(WorksetConf, AcceptsSinglePhaseOne2One) {
+  IterJobConf conf = Sssp::imapreduce("in", "out", 5);
+  conf.workset_mode = true;
+  conf.distance_threshold = -1.0;
+  EXPECT_NO_THROW(conf.validate());
+}
+
+}  // namespace
+}  // namespace imr

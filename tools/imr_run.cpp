@@ -11,6 +11,10 @@
 //   --iterations N         max iterations (default 10)
 //   --threshold X          distance threshold (default: fixed iterations)
 //   --sync                 disable asynchronous map execution
+//   --workset              workset (frontier) iteration for the imr engine
+//                          (sssp | concomp | pagerank; pagerank switches to
+//                          its delta-accumulation formulation)
+//   --delta-threshold X    pagerank --workset share threshold (default 1e-8)
 //   --buffer N             reduce->map send buffer records
 //   --checkpoint N         checkpoint every N iterations
 //   --balance              enable load balancing
@@ -54,6 +58,8 @@ struct Options {
   int iterations = 10;
   double threshold = -1.0;
   bool sync = false;
+  bool workset = false;
+  double delta_threshold = 1e-8;
   int buffer = 4096;
   int checkpoint = 0;
   bool balance = false;
@@ -73,6 +79,8 @@ Options parse_options(const Flags& flags) {
   o.iterations = static_cast<int>(flags.get_int("iterations", 10));
   o.threshold = flags.get_double("threshold", -1.0);
   o.sync = flags.get_bool("sync");
+  o.workset = flags.get_bool("workset");
+  o.delta_threshold = flags.get_double("delta-threshold", 1e-8);
   o.buffer = static_cast<int>(flags.get_int("buffer", 4096));
   o.checkpoint = static_cast<int>(flags.get_int("checkpoint", 0));
   o.balance = flags.get_bool("balance");
@@ -101,6 +109,7 @@ std::unique_ptr<Cluster> make_cluster(const Options& o) {
 void apply_common(IterJobConf& conf, const Options& o) {
   conf.num_tasks = o.tasks;
   if (o.sync) conf.async_maps = false;
+  conf.workset_mode = o.workset;
   conf.buffer_records = o.buffer;
   conf.checkpoint_every = o.checkpoint;
   conf.load_balancing = o.balance;
@@ -127,6 +136,13 @@ int main(int argc, char** argv) {
   const std::string algo = flags.positional()[0];
   Options o = parse_options(flags);
   if (flags.get_bool("verbose")) set_log_level(LogLevel::kInfo);
+  if (o.workset && algo != "sssp" && algo != "concomp" && algo != "pagerank") {
+    std::fprintf(stderr,
+                 "error: --workset is wired for sssp|concomp|pagerank (the "
+                 "jobs whose reducers implement the monotonic-update merge "
+                 "contract)\n");
+    return 2;
+  }
 
   if (!o.trace.empty()) TraceRecorder::instance().enable();
 
@@ -166,7 +182,16 @@ int main(int argc, char** argv) {
           mr = driver.run(PageRank::baseline("data", "work", g.num_nodes(),
                                              o.iterations, o.threshold));
         }
-        if (run_imr) {
+        if (run_imr && o.workset) {
+          // The plain power-iteration job is not workset-eligible (a node's
+          // rank needs ALL in-neighbor shares); switch to the accumulative
+          // delta formulation (see algorithms/pagerank.h).
+          PageRank::setup_delta(*cluster, g, "data_delta");
+          IterJobConf conf = PageRank::imapreduce_delta(
+              "data_delta", "out", o.iterations, o.delta_threshold);
+          apply_common(conf, o);
+          imr = IterativeEngine(*cluster).run(conf);
+        } else if (run_imr) {
           IterJobConf conf = PageRank::imapreduce(
               "data", "out", g.num_nodes(), o.iterations, o.threshold);
           apply_common(conf, o);
