@@ -140,6 +140,21 @@ IterJobConf ConComp::imapreduce(const std::string& base,
       }
     }
     out.emit(key, u32_key(label));
+  },
+  [](const StaticDeltaOp& op, const Bytes* old_value, KVVec& seeds) {
+    // Re-seed the perturbed node so it re-announces its label over the new
+    // neighbor list; the fallback (its own id) only applies to unseen keys.
+    seeds.emplace_back(op.key, op.key);
+    if (op.kind == DeltaOpKind::kErase) return false;
+    // Refining iff edges only appeared: every old neighbor is still a
+    // neighbor (lists are sorted and deduped by symmetrized()), so every
+    // converged label remains reachable and min-propagation resumes.
+    std::vector<uint32_t> old_adj =
+        (old_value == nullptr || old_value->empty()) ? std::vector<uint32_t>{}
+                                                     : decode_adj(*old_value);
+    std::vector<uint32_t> new_adj = decode_adj(op.value);
+    return std::includes(new_adj.begin(), new_adj.end(), old_adj.begin(),
+                         old_adj.end());
   });
   phase.reducer = make_iter_reducer(
       [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
@@ -159,6 +174,21 @@ IterJobConf ConComp::imapreduce(const std::string& base,
       });
   conf.phases.push_back(std::move(phase));
   return conf;
+}
+
+StaticDelta ConComp::static_delta(const Graph& before, const Graph& after) {
+  IMR_CHECK_MSG(before.num_nodes() == after.num_nodes(),
+                "session deltas keep the node universe fixed");
+  auto old_adj = symmetrized(before);
+  auto new_adj = symmetrized(after);
+  StaticDelta delta;
+  for (uint32_t u = 0; u < after.num_nodes(); ++u) {
+    if (old_adj[u] == new_adj[u]) continue;
+    Bytes enc;
+    encode_adj(new_adj[u], enc);
+    delta.upsert(u32_key(u), std::move(enc));
+  }
+  return delta;
 }
 
 std::vector<uint32_t> ConComp::reference(const Graph& g) {

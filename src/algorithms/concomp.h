@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "graph/graph.h"
 #include "imapreduce/conf.h"
+#include "imapreduce/delta.h"
 #include "mapreduce/iterative_driver.h"
 
 namespace imr {
@@ -28,9 +29,20 @@ struct ConComp {
                                 const std::string& work_dir,
                                 int max_iterations, double threshold = -1.0);
 
+  // The mapper carries a perturbed_keys hook (DESIGN.md §8): a neighbor-list
+  // upsert is refining iff the new list is a superset of the old — edges only
+  // appeared, so labels can only keep shrinking from the converged values.
+  // Any removed edge may have carried the minimum label and forces a replay.
   static IterJobConf imapreduce(const std::string& base,
                                 const std::string& output_path,
                                 int max_iterations, double threshold = -1.0);
+
+  // Session update batch between two graphs over the SAME node set: one
+  // upsert of the full symmetrized neighbor list per node whose list
+  // changed. Symmetrization guarantees both endpoints of an added edge get
+  // an op (and hence a seed), so the label exchange re-runs in both
+  // directions.
+  static StaticDelta static_delta(const Graph& before, const Graph& after);
 
   // Exact reference (union-find), the fixpoint of label propagation.
   static std::vector<uint32_t> reference(const Graph& g);

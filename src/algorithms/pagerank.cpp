@@ -272,6 +272,15 @@ IterJobConf PageRank::imapreduce_delta(const std::string& base,
       out.emit(key, PageRank::encode_delta(rank, 0.0));
     }
 
+    bool perturbed_keys(const StaticDeltaOp&, const Bytes*,
+                        KVVec&) override {
+      // Rank sums are not monotone under edge changes: a rewired edge's
+      // past shares are already banked downstream and cannot be retracted
+      // by forward propagation. Report non-refining so the session resets
+      // to the original initial state and replays over the mutated static.
+      return false;
+    }
+
    private:
     double damping_ = kDefaultDamping;
     double threshold_ = 0.0;
@@ -317,6 +326,24 @@ IterJobConf PageRank::imapreduce_delta(const std::string& base,
       });
   conf.phases.push_back(std::move(phase));
   return conf;
+}
+
+StaticDelta PageRank::static_delta(const Graph& before, const Graph& after) {
+  IMR_CHECK_MSG(before.num_nodes() == after.num_nodes(),
+                "session deltas keep the node universe fixed");
+  StaticDelta delta;
+  for (uint32_t u = 0; u < after.num_nodes(); ++u) {
+    std::vector<uint32_t> old_adj, new_adj;
+    old_adj.reserve(before.adj[u].size());
+    for (const WEdge& e : before.adj[u]) old_adj.push_back(e.dst);
+    new_adj.reserve(after.adj[u].size());
+    for (const WEdge& e : after.adj[u]) new_adj.push_back(e.dst);
+    if (old_adj == new_adj) continue;
+    Bytes enc;
+    encode_adj(new_adj, enc);
+    delta.upsert(u32_key(u), std::move(enc));
+  }
+  return delta;
 }
 
 std::vector<double> PageRank::reference_delta(const Graph& g, int iterations,

@@ -13,6 +13,7 @@
 #include "cluster/cluster.h"
 #include "graph/graph.h"
 #include "imapreduce/conf.h"
+#include "imapreduce/delta.h"
 #include "mapreduce/iterative_driver.h"
 
 namespace imr {
@@ -83,6 +84,14 @@ struct PageRank {
                                                uint32_t num_nodes);
   static Bytes encode_delta(double rank, double delta);
   static void decode_delta(BytesView v, double& rank, double& delta);
+
+  // Session update batch for the delta job: one upsert of the full new
+  // out-neighbor list per node whose list changed (same node set). The
+  // perturbed_keys hook on the delta mapper always reports non-refining:
+  // an edge change redistributes share mass that is already banked in
+  // downstream ranks, so the only byte-exact reconvergence is a reset_all
+  // replay from the original initial state over the mutated static data.
+  static StaticDelta static_delta(const Graph& before, const Graph& after);
 };
 
 }  // namespace imr

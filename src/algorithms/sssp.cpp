@@ -1,6 +1,7 @@
 #include "algorithms/sssp.h"
 
 #include <limits>
+#include <map>
 
 #include "common/codec.h"
 #include "common/error.h"
@@ -20,6 +21,18 @@ constexpr char kStructTag = 's';
 // Count-changed distance for termination: 1 per node whose shortest distance
 // changed this iteration.
 double changed(double prev, double cur) { return prev == cur ? 0.0 : 1.0; }
+
+// Per-destination minimum edge weight of an encoded out-edge list (parallel
+// edges collapse to the cheapest — the only one relaxation can ever use).
+std::map<uint32_t, double> min_weight_by_dst(BytesView encoded) {
+  std::map<uint32_t, double> min_w;
+  if (encoded.empty()) return min_w;  // no static record: no out-edges
+  for (const WEdge& e : decode_wedges(encoded)) {
+    auto [it, fresh] = min_w.emplace(e.dst, e.weight);
+    if (!fresh && e.weight < it->second) it->second = e.weight;
+  }
+  return min_w;
+}
 
 }  // namespace
 
@@ -138,6 +151,24 @@ IterJobConf Sssp::imapreduce(const std::string& base,
       }
     }
     out.emit(key, f64_value(d));  // retain the current shortest distance
+  },
+  [](const StaticDeltaOp& op, const Bytes* old_value, KVVec& seeds) {
+    // The perturbed node re-relaxes over its mutated out-edges once it
+    // re-enters the frontier; its converged distance is resident in the
+    // paired reduce, so the fallback is only used for unseen keys.
+    seeds.emplace_back(op.key, f64_value(kInf));
+    if (op.kind == DeltaOpKind::kErase) return false;
+    // Refining iff no old destination got farther: each destination of the
+    // OLD edge list keeps a new edge at most as heavy. Then every old
+    // relaxation is still achievable and converged distances stay valid
+    // upper bounds for the resumed min-fold.
+    auto new_min = min_weight_by_dst(op.value);
+    for (const auto& [dst, w] :
+         min_weight_by_dst(old_value ? BytesView(*old_value) : BytesView())) {
+      auto it = new_min.find(dst);
+      if (it == new_min.end() || it->second > w) return false;
+    }
+    return true;
   });
   phase.reducer = make_iter_reducer(
       [](const Bytes& key, const std::vector<Bytes>& values, IterEmitter& out) {
@@ -159,6 +190,20 @@ IterJobConf Sssp::imapreduce(const std::string& base,
       });
   conf.phases.push_back(std::move(phase));
   return conf;
+}
+
+StaticDelta Sssp::static_delta(const Graph& before, const Graph& after) {
+  IMR_CHECK_MSG(before.num_nodes() == after.num_nodes(),
+                "session deltas keep the node universe fixed");
+  StaticDelta delta;
+  for (uint32_t u = 0; u < after.num_nodes(); ++u) {
+    Bytes old_edges, new_edges;
+    encode_wedges(before.adj[u], old_edges);
+    encode_wedges(after.adj[u], new_edges);
+    if (old_edges == new_edges) continue;
+    delta.upsert(u32_key(u), std::move(new_edges));
+  }
+  return delta;
 }
 
 std::vector<double> Sssp::reference(const Graph& g, uint32_t source,

@@ -13,6 +13,7 @@
 #include "cluster/cluster.h"
 #include "graph/graph.h"
 #include "imapreduce/conf.h"
+#include "imapreduce/delta.h"
 #include "mapreduce/iterative_driver.h"
 
 namespace imr {
@@ -28,10 +29,20 @@ struct Sssp {
                                 const std::string& work_dir,
                                 int max_iterations, double threshold = -1.0);
 
-  // The iMapReduce job (§3.5's interfaces).
+  // The iMapReduce job (§3.5's interfaces). The mapper carries a
+  // perturbed_keys hook (DESIGN.md §8): an adjacency upsert is refining when
+  // no existing destination got farther (every old out-edge keeps a
+  // replacement at most as heavy), so the old converged distances remain
+  // valid upper bounds and the min-fold can resume from them.
   static IterJobConf imapreduce(const std::string& base,
                                 const std::string& output_path,
                                 int max_iterations, double threshold = -1.0);
+
+  // Session update batch: one upsert of the full new out-edge list per node
+  // whose adjacency differs between `before` and `after`. The node universe
+  // must be fixed (reset_all replays the ORIGINAL initial state, which only
+  // covers the original keys).
+  static StaticDelta static_delta(const Graph& before, const Graph& after);
 
   // Synchronous Bellman-Ford reference: exactly `iterations` rounds
   // (matching a fixed-iteration framework run), or run to fixpoint when

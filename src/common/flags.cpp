@@ -1,5 +1,7 @@
 #include "common/flags.h"
 
+#include "common/strings.h"
+
 namespace imr {
 
 Flags::Flags(int argc, char** argv) {
@@ -40,12 +42,12 @@ int64_t Flags::get_int(const std::string& name, int64_t dflt) const {
 double Flags::get_double(const std::string& name, double dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
-  try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
+  double v;
+  if (!parse_double_strict(it->second, v)) {
     throw ConfigError("flag --" + name + " expects a number, got '" +
                       it->second + "'");
   }
+  return v;
 }
 
 bool Flags::get_bool(const std::string& name) const {

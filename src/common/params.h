@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/strings.h"
 
 namespace imr {
 
@@ -49,10 +50,12 @@ class Params {
     auto it = values_.find(key);
     return it == values_.end() ? dflt : std::stoll(it->second);
   }
-  double get_double(const std::string& key) const { return std::stod(get(key)); }
+  double get_double(const std::string& key) const {
+    return parse_double(key, get(key));
+  }
   double get_double(const std::string& key, double dflt) const {
     auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::stod(it->second);
+    return it == values_.end() ? dflt : parse_double(key, it->second);
   }
   bool get_bool(const std::string& key, bool dflt) const {
     auto it = values_.find(key);
@@ -63,6 +66,18 @@ class Params {
   const std::map<std::string, std::string>& all() const { return values_; }
 
  private:
+  // Parse side of the set_double round trip: locale-independent and strict,
+  // so a value formatted by to_chars always reads back bit-identical no
+  // matter what LC_NUMERIC the host process runs under.
+  static double parse_double(const std::string& key, const std::string& s) {
+    double v;
+    if (!parse_double_strict(s, v)) {
+      throw ConfigError("parameter " + key + " expects a number, got '" + s +
+                        "'");
+    }
+    return v;
+  }
+
   std::map<std::string, std::string> values_;
 };
 

@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <sstream>
@@ -67,6 +68,13 @@ std::string fmt_double(double v, int precision) {
   os.precision(precision);
   os << v;
   return os.str();
+}
+
+bool parse_double_strict(const std::string& s, double& out) {
+  const char* first = s.data();
+  const char* last = first + s.size();
+  auto res = std::from_chars(first, last, out);
+  return res.ec == std::errc() && res.ptr == last;
 }
 
 std::string strprintf(const char* fmt, ...) {

@@ -20,6 +20,14 @@ std::string human_count(uint64_t n);
 // Fixed-precision double.
 std::string fmt_double(double v, int precision);
 
+// Locale-independent strict double parse (std::from_chars): the whole string
+// must be consumed and the decimal separator is always '.'. Returns false on
+// empty input, trailing characters, or out-of-range values. This is the parse
+// half of the set_double/to_chars round-trip guarantee — std::stod honors the
+// global C locale, so under a comma-decimal locale "0.85" would stop at the
+// '.' and silently parse as 0.
+bool parse_double_strict(const std::string& s, double& out);
+
 // printf-style convenience.
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

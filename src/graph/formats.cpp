@@ -49,8 +49,11 @@ Graph parse_adjacency_text(const std::string& text, bool weighted) {
             e.dst = static_cast<uint32_t>(std::stoul(id, &used));
             if (used != id.size()) throw FormatError("bad edge id: " + line);
             std::string w = part.substr(colon + 1);
-            e.weight = std::stod(w, &used);
-            if (used != w.size()) throw FormatError("bad weight: " + line);
+            // from_chars, not stod: edge weights written by to_adjacency_text
+            // must read back identically under any LC_NUMERIC.
+            if (!parse_double_strict(w, e.weight)) {
+              throw FormatError("bad weight: " + line);
+            }
           } else {
             e.dst = static_cast<uint32_t>(std::stoul(part, &used));
             if (used != part.size()) {

@@ -11,7 +11,8 @@ class LambdaIterMapper : public IterMapper {
   using MapAllFn =
       std::function<void(const Bytes&, const Bytes&, const KVVec&, IterEmitter&)>;
 
-  explicit LambdaIterMapper(MapFn fn) : map_fn_(std::move(fn)) {}
+  explicit LambdaIterMapper(MapFn fn, PerturbFn perturb_fn = nullptr)
+      : map_fn_(std::move(fn)), perturb_fn_(std::move(perturb_fn)) {}
   explicit LambdaIterMapper(MapAllFn fn) : map_all_fn_(std::move(fn)) {}
 
   void map(const Bytes& key, const Bytes& state, const Bytes& stat,
@@ -26,9 +27,16 @@ class LambdaIterMapper : public IterMapper {
     map_all_fn_(key, stat, states, out);
   }
 
+  bool perturbed_keys(const StaticDeltaOp& op, const Bytes* old_value,
+                      KVVec& seeds) override {
+    if (!perturb_fn_) return false;  // same conservative default as the base
+    return perturb_fn_(op, old_value, seeds);
+  }
+
  private:
   MapFn map_fn_;
   MapAllFn map_all_fn_;
+  PerturbFn perturb_fn_;
 };
 
 class LambdaIterReducer : public IterReducer {
@@ -67,9 +75,10 @@ class LambdaIterReducer : public IterReducer {
 
 IterMapperFactory make_iter_mapper(
     std::function<void(const Bytes&, const Bytes&, const Bytes&, IterEmitter&)>
-        fn) {
-  return [fn = std::move(fn)] {
-    return std::make_unique<LambdaIterMapper>(fn);
+        fn,
+    PerturbFn perturb_fn) {
+  return [fn = std::move(fn), perturb_fn = std::move(perturb_fn)] {
+    return std::make_unique<LambdaIterMapper>(fn, perturb_fn);
   };
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/bytes.h"
 #include "common/params.h"
+#include "imapreduce/delta.h"
 #include "mapreduce/api.h"  // Emitter
 
 namespace imr {
@@ -61,6 +62,32 @@ class IterMapper {
     (void)states;
     (void)out;
     throw Error("one2all map_all() not implemented");
+  }
+
+  // Incremental recomputation hook (job sessions, DESIGN.md §8): called once
+  // per static-delta op landing on this task's partition, BEFORE the op is
+  // applied. `old_value` is the key's current static record (nullptr when
+  // absent). Push <key, fallback-initial-state> records into `seeds` for
+  // every key whose converged state must be re-propagated; the engine
+  // resolves each seed against the converged state (the fallback value is
+  // used only for keys that have none yet) and makes the seed set the resume
+  // epoch's initial workset.
+  //
+  // Return true when the op REFINES the converged state — i.e. re-running
+  // the frontier from the seeds alone, with merge() reconciling against the
+  // converged values, reaches the same fixpoint a cold run over the mutated
+  // input would (monotone additions: a new edge, a shorter weight). Return
+  // false for anything non-monotone (removals, weight increases, or when
+  // unsure): one false verdict anywhere makes the engine discard the
+  // converged state and replay the full iteration from the initial state
+  // inside the session — always correct, just not incremental. The default
+  // declines every op.
+  virtual bool perturbed_keys(const StaticDeltaOp& op, const Bytes* old_value,
+                              KVVec& seeds) {
+    (void)op;
+    (void)old_value;
+    (void)seeds;
+    return false;
   }
 };
 
@@ -114,10 +141,14 @@ using IterReducerFactory = std::function<std::unique_ptr<IterReducer>()>;
 // terminate the main iterative job (§5.3.2's "termination signals").
 inline const char* kTerminateSignalKey = "__imr_terminate__";
 
-// Lambda adapters for simple user code.
+// Lambda adapters for simple user code. The optional perturb_fn implements
+// IterMapper::perturbed_keys for session-capable mappers.
+using PerturbFn =
+    std::function<bool(const StaticDeltaOp&, const Bytes*, KVVec&)>;
 IterMapperFactory make_iter_mapper(
     std::function<void(const Bytes&, const Bytes&, const Bytes&, IterEmitter&)>
-        fn);
+        fn,
+    PerturbFn perturb_fn = nullptr);
 IterMapperFactory make_iter_mapper_all(
     std::function<void(const Bytes&, const Bytes&, const KVVec&, IterEmitter&)>
         fn);

@@ -20,6 +20,17 @@ enum class CtlType : uint8_t {
   kFailure = 7,    // task -> master: my worker failed (§3.4.1)
   kDone = 8,       // reduce -> master: final state written
   kAuxSignal = 9,  // aux reduce -> master: terminate signal (§5.3)
+  // --- job sessions (DESIGN.md §8) ---
+  kConvergedCkpt = 10,  // master -> reduce: converged; dump the session
+                        // baseline checkpoint (converged-<session>) and ack
+  kCkptAck = 11,        // reduce -> master: baseline checkpoint written
+  kDelta = 12,          // master -> map: static-delta ops for your partition
+                        // (ops ride in the message's record payload)
+  kDeltaAck = 13,       // map -> master: ops applied; perturbed-key seeds in
+                        // the record payload, refining verdict in workset_size
+  kResume = 14,         // master -> map/reduce: start the next session epoch
+                        // at iteration `iteration + 1` (workset_size != 0
+                        // means reset_all: replay from the initial state)
 };
 
 struct CtlMsg {
@@ -38,6 +49,10 @@ struct CtlMsg {
   // into RunReport::final_state_records for the InvariantChecker's
   // state-conservation rule.
   int64_t state_records = 0;  // kDone
+  // Session epoch the message belongs to (0 = the initial run). Guards the
+  // quiesce/resume handshakes the same way `generation` guards rollbacks: a
+  // straggling ack from a previous epoch is ignored.
+  int32_t session = 0;  // kConvergedCkpt, kCkptAck, kDelta, kDeltaAck, kResume
 
   Bytes encode() const;
   static CtlMsg decode(const Bytes& b);

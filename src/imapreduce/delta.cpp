@@ -1,0 +1,27 @@
+#include "imapreduce/delta.h"
+
+#include "common/error.h"
+
+namespace imr {
+
+KV delta_op_to_kv(const StaticDeltaOp& op) {
+  Bytes v;
+  v.reserve(op.value.size() + 1);
+  v.push_back(static_cast<char>(op.kind));
+  v.append(op.value);
+  return KV(op.key, std::move(v));
+}
+
+StaticDeltaOp delta_op_from_kv(const KV& kv) {
+  if (kv.value.empty()) throw FormatError("delta op without kind byte");
+  StaticDeltaOp op;
+  op.kind = static_cast<DeltaOpKind>(kv.value[0]);
+  if (op.kind != DeltaOpKind::kUpsert && op.kind != DeltaOpKind::kErase) {
+    throw FormatError("unknown delta op kind");
+  }
+  op.key = kv.key;
+  op.value = kv.value.substr(1);
+  return op;
+}
+
+}  // namespace imr

@@ -1,0 +1,62 @@
+// Static-data deltas (job sessions, DESIGN.md §8).
+//
+// A converged workset job can stay resident as a *session*: the master keeps
+// the persistent tasks and their converged state alive and accepts batches of
+// StaticDeltaOp — records added, removed, or re-valued in the loop-invariant
+// static data (§3.2). Each op is routed to the map task owning its key
+// (partition_of, the same partitioner the shuffle uses), applied in place to
+// that task's StaticStore, and expanded into a seed workset of perturbed keys
+// so the engine re-runs frontier iterations only where the input actually
+// changed.
+//
+// Ops travel on the wire as KV records (key = op key, value = 1 kind byte +
+// op value) inside a control message's data payload, so delta traffic is
+// byte-accounted like everything else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+enum class DeltaOpKind : uint8_t {
+  kUpsert = 0,  // replace ALL records of `key` with the single new value
+                // (or insert it if the key had none)
+  kErase = 1,   // remove every record of `key`
+};
+
+struct StaticDeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kUpsert;
+  Bytes key;
+  Bytes value;  // empty for kErase
+
+  StaticDeltaOp() = default;
+  StaticDeltaOp(DeltaOpKind k, Bytes key_, Bytes value_ = {})
+      : kind(k), key(std::move(key_)), value(std::move(value_)) {}
+
+  friend bool operator==(const StaticDeltaOp&, const StaticDeltaOp&) = default;
+};
+
+// One update batch handed to JobSession::apply_update.
+struct StaticDelta {
+  std::vector<StaticDeltaOp> ops;
+
+  bool empty() const { return ops.empty(); }
+  std::size_t size() const { return ops.size(); }
+
+  void upsert(Bytes key, Bytes value) {
+    ops.emplace_back(DeltaOpKind::kUpsert, std::move(key), std::move(value));
+  }
+  void erase(Bytes key) {
+    ops.emplace_back(DeltaOpKind::kErase, std::move(key));
+  }
+};
+
+// Wire form: a delta op as one KV record (the value's first byte is the op
+// kind). Round-trips exactly; the 1-byte tag keeps wire_size() honest.
+KV delta_op_to_kv(const StaticDeltaOp& op);
+StaticDeltaOp delta_op_from_kv(const KV& kv);
+
+}  // namespace imr

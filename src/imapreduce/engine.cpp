@@ -74,7 +74,14 @@ class CollectEmitter : public IterEmitter {
 };
 
 // What a task's message loop decided.
-enum class LoopEvent { kIterationReady, kRollback, kTerminate, kKill, kClosed };
+enum class LoopEvent {
+  kIterationReady,
+  kRollback,
+  kResume,  // session epoch resume (kRollback arithmetic, no state reload)
+  kTerminate,
+  kKill,
+  kClosed,
+};
 
 // Iteration-aware mailbox wrapper. In asynchronous execution a fast upstream
 // task may legitimately run one iteration ahead and send data tagged with a
@@ -127,17 +134,27 @@ class StashedInbox {
   std::map<std::pair<int, int>, std::deque<NetMessage>> stash_;
 };
 
+}  // namespace
+
+namespace detail {
+
 // One run of an iterative job. Owns endpoints, task threads, and the master
-// protocol state.
+// protocol state. In session mode (DESIGN.md §8) the run QUIESCES instead of
+// terminating once the workset drains: the reduces dump a converged-<epoch>
+// baseline checkpoint and every task stays parked in its collect loop, state
+// and static indexes resident, until apply_update() routes a static-delta
+// batch to the maps and resumes iteration from the perturbed-key frontier —
+// or close_session() terminates the run and dumps the final output.
 class JobRun {
  public:
-  JobRun(Cluster& cluster, const IterJobConf& conf)
+  JobRun(Cluster& cluster, const IterJobConf& conf, bool session_mode = false)
       : cluster_(cluster),
         conf_(conf),
         cost_(cluster.cost()),
         tag_(conf.name + "#" + std::to_string(g_iterjob_counter.fetch_add(1))),
         P_(static_cast<int>(conf.phases.size())),
-        T_(conf.num_tasks > 0 ? conf.num_tasks : default_tasks()) {}
+        T_(conf.num_tasks > 0 ? conf.num_tasks : default_tasks()),
+        session_mode_(session_mode) {}
 
   // Default persistent-task count: fill the cluster's slots (§3.1.1 — the
   // task granularity is set so that all persistent tasks fit, using the same
@@ -156,6 +173,17 @@ class JobRun {
 
   RunReport execute();
 
+  // --- session lifecycle (driven by JobSession, engine.h) ---
+  // Runs to the first convergence and quiesces; the tasks stay parked.
+  RunReport converge();
+  // Routes a delta batch to the maps, seeds the resume frontier from their
+  // perturbed_keys verdicts, and re-runs the loop until the frontier drains.
+  RunReport apply_update(const StaticDelta& delta);
+  // Terminates the parked tasks; last-phase reduces dump the final output.
+  RunReport close_session();
+  const RunReport& last_report() const { return last_report_; }
+  bool closed() const { return closed_; }
+
  private:
   // --- naming ---
   std::string map_ep_name(int p, int i) const {
@@ -166,6 +194,12 @@ class JobRun {
   }
   std::string ckpt_path(int iter) const {
     return "ckpt/" + tag_ + "/it" + std::to_string(iter);
+  }
+  // Session baseline checkpoint of epoch `session` (the state every task of
+  // epoch session+1 resumes against). Lives under ckpt/<tag>/ so teardown's
+  // prefix removal garbage-collects it with the periodic checkpoints.
+  std::string converged_path(int session) const {
+    return "ckpt/" + tag_ + "/converged-" + std::to_string(session);
   }
 
   // --- endpoint registry (swapped under lock on respawn) ---
@@ -323,7 +357,16 @@ class JobRun {
                    std::shared_ptr<Endpoint> ep);
   void run_aux_reduce(int j, int gen, int start_iter,
                       std::shared_ptr<Endpoint> ep);
-  void master_loop(VClock& mvt);
+  void master_loop();
+
+  // execute() split so a session can re-enter the master loop per epoch:
+  // start() validates/spawns once, run_master() wraps master_loop with error
+  // capture, finish() tears everything down and fills the cumulative report.
+  void start();
+  void run_master();
+  RunReport finish();
+  // Report slice covering the current epoch only (since epoch_first_stat_).
+  RunReport epoch_report(const std::string& label);
 
   // --- spawning ---
   void spawn(std::function<void()> body) {
@@ -366,6 +409,14 @@ class JobRun {
 
   // Loads the phase-0 map state input for iteration `ckpt_iter + 1`.
   KVVec load_map_state(TaskContext& ctx, int i, int ckpt_iter, bool one2all) {
+    // A reset_all epoch's baseline is the ORIGINAL initial state: the epoch
+    // replays the whole iteration (over the mutated static data) in place,
+    // which is what makes a non-refining delta's reconvergence byte-identical
+    // to a cold run.
+    if (ckpt_iter > 0) {
+      SessionView sv = session_view();
+      if (sv.active && ckpt_iter == sv.base && sv.reset_all) ckpt_iter = 0;
+    }
     if (ckpt_iter <= 0) {
       if (one2all) return ctx.dfs_read_all(conf_.state_path);
       return cluster_.dfs().read_partition(conf_.state_path,
@@ -385,8 +436,65 @@ class JobRun {
                             std::to_string(i));
   }
 
+  // --- session-state views for task threads. The master writes the fields
+  // only while every task is parked (or inside the ack barrier), but a task
+  // respawned by recovery reads them concurrently with nothing ordering the
+  // two — hence session_mu_ around every access.
+  struct SessionView {
+    bool active = false;   // a resume epoch is in effect (session_id_ > 0)
+    int base = 0;          // iteration the epoch resumed after
+    bool reset_all = false;
+    std::string baseline_dir;  // converged ckpt backing a refining epoch
+  };
+  SessionView session_view() {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    SessionView sv;
+    sv.active = session_mode_ && session_id_ > 0;
+    sv.base = session_base_;
+    sv.reset_all = session_reset_all_;
+    sv.baseline_dir = session_baseline_dir_;
+    return sv;
+  }
+  // True when `ckpt_iter` is the current epoch's baseline and the epoch is
+  // refining: the converged state lives on in the reduces, so a map restarts
+  // with NO pending input and waits for its paired reduce's seed frontier.
+  bool session_baseline_collect(int ckpt_iter) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    return session_mode_ && session_id_ > 0 && !session_reset_all_ &&
+           ckpt_iter == session_base_;
+  }
+  // Copy of reduce task i's seed frontier for the current epoch. Reduces read
+  // seeds from here (not from the resume message) so a task respawned
+  // mid-epoch re-ships the identical frontier.
+  KVVec session_seeds_for(int i) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (epoch_seeds_.empty()) return KVVec{};
+    return epoch_seeds_[static_cast<std::size_t>(i)];
+  }
+  // Every delta batch applied so far, filtered to task i's partition: a map
+  // respawned by recovery rebuilds its static store from the original input
+  // and replays these to catch up with the session's mutations.
+  std::vector<std::vector<StaticDeltaOp>> session_history_for(int i) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    std::vector<std::vector<StaticDeltaOp>> out;
+    out.reserve(delta_history_.size());
+    for (const auto& batch : delta_history_) {
+      std::vector<StaticDeltaOp> mine;
+      for (const StaticDeltaOp& op : batch) {
+        if (partition_of(op.key, static_cast<uint32_t>(T_)) ==
+            static_cast<uint32_t>(i)) {
+          mine.push_back(op);
+        }
+      }
+      out.push_back(std::move(mine));
+    }
+    return out;
+  }
+
   Cluster& cluster_;
-  const IterJobConf& conf_;
+  // By value: a session-mode run outlives the IterativeEngine::open_session
+  // call that supplied the conf.
+  const IterJobConf conf_;
   const CostModel& cost_;
   std::string tag_;
   int P_;
@@ -414,6 +522,54 @@ class JobRun {
   // Master-filled results.
   RunReport report_;
   int64_t final_vt_ = 0;
+  RunReport last_report_;
+
+  // --- master protocol state. Owned by the master thread; hoisted out of
+  // master_loop so a session can leave the loop at quiesce and re-enter it
+  // for the next epoch without losing the iteration ledger.
+  struct PendingIter {
+    int reports = 0;
+    double distance = 0;
+    int64_t workset = 0;  // summed changed-record counts (workset mode)
+    std::map<int, int64_t> worker_dur;  // worker -> max duration
+  };
+  std::map<int, PendingIter> pending_;  // iteration -> reports (current gen)
+  int generation_ = 0;
+  int decided_ = 0;
+  int last_ckpt_ = 0;
+  int aux_stop_at_ = INT32_MAX;
+  int last_migration_iter_ = 0;
+  std::set<int> dead_workers_;
+  bool terminating_ = false;
+  int done_count_ = 0;
+  double last_decided_wall_ms_ = 0;
+  // The master clock and trace track persist across session epochs: epoch
+  // wall times are slices of one continuous timeline.
+  VClock mvt_;
+  bool started_ = false;
+  bool closed_ = false;
+  bool close_requested_ = false;
+  bool traced_ = false;
+  TraceRecorder::TrackHandle prev_track_ = nullptr;
+  std::optional<TraceSpan> job_span_;
+
+  // --- job-session state (DESIGN.md §8) ---
+  bool session_mode_ = false;
+  std::mutex session_mu_;
+  int session_id_ = 0;    // current epoch; 0 = the initial run
+  int session_base_ = 0;  // iteration the current epoch resumed after
+  bool session_reset_all_ = false;
+  std::string session_baseline_dir_;
+  std::vector<std::vector<StaticDeltaOp>> delta_history_;
+  std::vector<KVVec> epoch_seeds_;  // [reduce task] current epoch's frontier
+  // Quiesce/epoch bookkeeping (master thread only).
+  bool quiesced_ = false;
+  int ckpt_acks_ = 0;
+  // Iteration-budget base: a resume epoch gets a fresh max_iterations budget
+  // counted from its base (0 initially, so plain runs are unchanged).
+  int epoch_base_ = 0;
+  std::size_t epoch_first_stat_ = 0;
+  double epoch_start_ms_ = 0;
 
   int pair_worker(int i) {
     std::lock_guard<std::mutex> lock(assign_mu_);
@@ -473,6 +629,19 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
     static_store.build(std::move(static_data));
     ctx.charge_compute(index_cpu.elapsed_ns(), TimeCategory::kSort);
   }
+  if (session_mode_ && !ph.static_path.empty()) {
+    // A task respawned mid-session rebuilt its store from the ORIGINAL
+    // static input above; catch up by replaying every delta batch the
+    // session has applied so far. Fresh gen-0 tasks see an empty history.
+    for (const auto& ops : session_history_for(i)) {
+      if (ops.empty()) continue;
+      ThreadCpuTimer replay_cpu;
+      static_store.apply_delta(ops);
+      ctx.charge_compute(replay_cpu.elapsed_ns());
+      cluster_.metrics().inc("imr_delta_ops_replayed",
+                             static_cast<int64_t>(ops.size()));
+    }
+  }
 
   std::unique_ptr<IterMapper> mapper = ph.mapper();
   mapper->configure(conf_.params);
@@ -502,6 +671,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   auto process_one2one_batch = [&](const KVVec& batch) {
     ThreadCpuTimer cpu;
     iter_input_records += static_cast<int64_t>(batch.size());
+    // The probe scope pins the store for the duration of the join: find()'s
+    // pointers die on any mutation, and the debug assertion inside
+    // apply_delta/build fires if a delta ever lands mid-join.
+    StaticStore::ProbeScope probes(static_store);
     for (const KV& kv : batch) {
       const Bytes* sv = static_store.find(kv.key);
       mapper->map(kv.key, kv.value, sv ? *sv : kEmpty, emitter);
@@ -608,11 +781,17 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
 
   int k = start_iter;
   int go_allowed = start_iter;  // sync gating: first iteration is free
-  // Phase-0 maps begin from the loaded state (initial or checkpoint).
+  // Phase-0 maps begin from the loaded state (initial or checkpoint) — except
+  // at a refining epoch's baseline, where the converged state is resident in
+  // the reduces and the input is the seed frontier the paired reduce ships.
   bool have_pending = is_phase0;
   KVVec pending;
   if (is_phase0) {
-    pending = load_map_state(ctx, i, start_iter - 1, one2all);
+    if (session_baseline_collect(start_iter - 1)) {
+      have_pending = false;
+    } else {
+      pending = load_map_state(ctx, i, start_iter - 1, one2all);
+    }
   }
 
   while (true) {
@@ -669,6 +848,56 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
             event = LoopEvent::kRollback;
             done = true;
             break;
+          case CtlType::kResume:
+            gen = ctl.generation;
+            rollback_to = ctl.iteration;
+            event = LoopEvent::kResume;
+            done = true;
+            break;
+          case CtlType::kDelta: {
+            // Session update batch for this partition (master is blocked in
+            // its ack barrier; every task is parked). The hooks observe the
+            // PRE-batch store, then the batch is applied in one pass —
+            // exactly how a respawned task replays it from the history.
+            if (ctl.generation != gen) break;
+            KVVec op_records = msg->take_records();
+            std::vector<StaticDeltaOp> ops;
+            ops.reserve(op_records.size());
+            for (const KV& kv : op_records) {
+              ops.push_back(delta_op_from_kv(kv));
+            }
+            KVVec seeds;
+            bool refining = true;
+            ThreadCpuTimer delta_cpu;
+            for (const StaticDeltaOp& op : ops) {
+              const Bytes* old_value = static_store.find(op.key);
+              // Hook first: the verdict must be computed for every op so the
+              // seed list is deterministic regardless of op order.
+              bool op_refines = mapper->perturbed_keys(op, old_value, seeds);
+              refining = op_refines && refining;
+            }
+            static_store.apply_delta(ops);
+            ctx.charge_compute(delta_cpu.elapsed_ns());
+            cluster_.metrics().inc("imr_delta_ops_applied",
+                                   static_cast<int64_t>(ops.size()));
+            CtlMsg ack;
+            ack.type = CtlType::kDeltaAck;
+            ack.task = i;
+            ack.iteration = ctl.iteration;
+            ack.generation = gen;
+            ack.session = ctl.session;
+            ack.workset_size = refining ? 1 : 0;
+            ack.state_records = static_cast<int64_t>(ops.size());
+            NetMessage amsg;
+            amsg.kind = NetMessage::Kind::kControl;
+            amsg.from_task = i;
+            amsg.iteration = ctl.iteration;
+            amsg.generation = gen;
+            amsg.control = ack.encode();
+            amsg.set_records(std::move(seeds));
+            ctx.send(*master_ep_, std::move(amsg), TrafficCategory::kControl);
+            break;
+          }
           case CtlType::kGo:
             go_allowed = std::max(go_allowed, ctl.iteration);
             break;
@@ -700,18 +929,32 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
                 << " exiting at iter " << k;
       return;
     }
-    if (event == LoopEvent::kRollback) {
-      // Restart from the checkpoint (§3.4): stale queue contents are
-      // filtered by generation; reload the state and resume.
-      TraceSpan rb_span("rollback", ctx.vt(), rollback_to, gen);
-      IMR_DEBUG << tag_ << ": map " << p << "/" << i << " rollback to "
+    if (event == LoopEvent::kRollback || event == LoopEvent::kResume) {
+      // Restart from the checkpoint (§3.4) or the session resume point: stale
+      // queue contents are filtered by generation (rollback) or stale
+      // iteration (resume); reload whatever input the restart point needs.
+      // The static store is NOT touched — session mutations are loop-
+      // invariant within an epoch and survive rollbacks.
+      TraceSpan rb_span(
+          event == LoopEvent::kResume ? "session_resume" : "rollback",
+          ctx.vt(), rollback_to, gen);
+      IMR_DEBUG << tag_ << ": map " << p << "/" << i
+                << (event == LoopEvent::kResume ? " resume after "
+                                                : " rollback to ")
                 << rollback_to << " gen " << gen;
       emitter.clear();
       k = rollback_to + 1;
       go_allowed = k;
       if (is_phase0) {
-        pending = load_map_state(ctx, i, rollback_to, one2all);
-        have_pending = true;
+        if (session_baseline_collect(rollback_to)) {
+          // Refining baseline: the frontier arrives as the paired reduce's
+          // seed batch — start with no pending input.
+          have_pending = false;
+          pending = KVVec{};
+        } else {
+          pending = load_map_state(ctx, i, rollback_to, one2all);
+          have_pending = true;
+        }
       }
       continue;
     }
@@ -781,14 +1024,31 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
   std::unordered_map<Bytes, Bytes> state_map;
   auto load_reduce_state = [&](int ckpt_iter) {
     state_map.clear();
-    if (ckpt_iter > 0) {
-      for (KV& kv : ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/part-" +
-                                     std::to_string(i))) {
-        state_map[std::move(kv.key)] = std::move(kv.value);
+    if (ckpt_iter <= 0) return;
+    SessionView sv = session_view();
+    if (sv.active && ckpt_iter == sv.base) {
+      // Session-epoch baseline: a refining epoch reloads the converged
+      // state the quiesce dumped; a reset_all epoch starts empty, exactly
+      // like a cold run over the mutated input.
+      if (!sv.reset_all) {
+        for (KV& kv : ctx.dfs_read_all(sv.baseline_dir + "/part-" +
+                                       std::to_string(i))) {
+          state_map[std::move(kv.key)] = std::move(kv.value);
+        }
       }
+      return;
+    }
+    for (KV& kv : ctx.dfs_read_all(ckpt_path(ckpt_iter) + "/part-" +
+                                   std::to_string(i))) {
+      state_map[std::move(kv.key)] = std::move(kv.value);
     }
   };
   if (last_phase && start_iter > 1) load_reduce_state(start_iter - 1);
+  // Set when the next iteration must open by shipping the session epoch's
+  // seed frontier to the paired map (refining epochs only): at resume, and
+  // again whenever a rollback lands exactly on the epoch baseline.
+  bool pending_seed_ship =
+      is_phase0 && session_baseline_collect(start_iter - 1);
 
   auto dump_state = [&](const std::string& path, VClock* clock,
                         TrafficCategory cat) {
@@ -806,6 +1066,26 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
 
   while (true) {
     TraceSpan iter_span("reduce_iter", ctx.vt(), k, gen);
+    if (pending_seed_ship) {
+      // Open the epoch: ship the seed frontier to the paired map, resolving
+      // each seed against the converged state (the hook's fallback value
+      // covers keys that have none yet). EOS follows immediately — the
+      // seeds ARE the paired map's whole iteration-k input.
+      pending_seed_ship = false;
+      KVVec seeds = session_seeds_for(i);
+      for (KV& kv : seeds) {
+        auto it = state_map.find(kv.key);
+        if (it != state_map.end()) kv.value = it->second;
+      }
+      cluster_.metrics().inc("imr_session_seed_records",
+                             static_cast<int64_t>(seeds.size()));
+      if (!seeds.empty()) {
+        send_batch(ctx, next_maps.at(i), std::move(seeds), i, k, gen,
+                   TrafficCategory::kReduceToMap);
+      }
+      send_eos(ctx, next_maps.at(i), i, k, gen,
+               TrafficCategory::kReduceToMap);
+    }
     KVVec records;
     int eos_seen = 0;
     int rollback_to = -1;
@@ -844,6 +1124,51 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
             event = LoopEvent::kRollback;
             done = true;
             break;
+          case CtlType::kResume:
+            gen = ctl.generation;
+            rollback_to = ctl.iteration;
+            event = LoopEvent::kResume;
+            done = true;
+            break;
+          case CtlType::kConvergedCkpt: {
+            // Session quiesce: dump the epoch baseline checkpoint and ack,
+            // then keep collecting (parked). Written on the task clock —
+            // the quiesce IS a barrier, unlike periodic checkpoints.
+            if (ctl.generation != gen) break;
+            if (cluster_.consume_fault(ctx.worker(),
+                                       FaultPoint::kCheckpointWrite,
+                                       ctl.iteration, &ctx.vt())) {
+              // Torn baseline: half the state lands, then the task dies.
+              // Recovery rolls the epoch back and re-quiesces; the retry
+              // overwrites the torn part file.
+              KVVec torn;
+              torn.reserve(state_map.size() / 2);
+              for (const auto& [key, value] : state_map) {
+                if (torn.size() >= state_map.size() / 2) break;
+                torn.emplace_back(key, value);
+              }
+              sort_records(torn, /*sort_values=*/false);
+              cluster_.dfs().write_file(
+                  converged_path(ctl.session) + "/part-" + std::to_string(i),
+                  std::move(torn), ctx.worker(), &ctx.vt(),
+                  TrafficCategory::kCheckpoint);
+              cluster_.metrics().inc("imr_torn_checkpoints");
+              fail_task(ctx, i, ctl.iteration, gen);
+              return;
+            }
+            dump_state(converged_path(ctl.session), &ctx.vt(),
+                       TrafficCategory::kCheckpoint);
+            cluster_.metrics().inc("imr_converged_checkpoints");
+            CtlMsg ack;
+            ack.type = CtlType::kCkptAck;
+            ack.task = i;
+            ack.iteration = ctl.iteration;
+            ack.generation = gen;
+            ack.session = ctl.session;
+            ack.state_records = static_cast<int64_t>(state_map.size());
+            task_send_ctl(ctx, ack);
+            break;
+          }
           default:
             break;
         }
@@ -886,13 +1211,32 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       }
       return;
     }
-    if (event == LoopEvent::kRollback) {
-      TraceSpan rb_span("rollback", ctx.vt(), rollback_to, gen);
-      IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " rollback to "
+    if (event == LoopEvent::kRollback || event == LoopEvent::kResume) {
+      TraceSpan rb_span(
+          event == LoopEvent::kResume ? "session_resume" : "rollback",
+          ctx.vt(), rollback_to, gen);
+      IMR_DEBUG << tag_ << ": reduce " << p << "/" << i
+                << (event == LoopEvent::kResume ? " resume after "
+                                                : " rollback to ")
                 << rollback_to << " gen " << gen;
       k = rollback_to + 1;
       allowed = k;
-      if (last_phase) load_reduce_state(rollback_to);
+      if (event == LoopEvent::kResume) {
+        // The live state_map IS the refining epoch's baseline — no reload.
+        // A reset_all epoch discards it (and ships no seeds: the maps
+        // reload the initial state themselves, replaying the cold run).
+        SessionView sv = session_view();
+        if (sv.reset_all) {
+          state_map.clear();
+          pending_seed_ship = false;
+        } else {
+          pending_seed_ship = is_phase0;
+        }
+      } else {
+        if (last_phase) load_reduce_state(rollback_to);
+        pending_seed_ship =
+            is_phase0 && session_baseline_collect(rollback_to);
+      }
       prev_end_vt = ctx.vt().now_ns();
       continue;
     }
@@ -1272,24 +1616,21 @@ void JobRun::run_aux_reduce(int j, int gen, int start_iter,
 // Master
 // ---------------------------------------------------------------------------
 
-void JobRun::master_loop(VClock& mvt) {
-  struct PendingIter {
-    int reports = 0;
-    double distance = 0;
-    int64_t workset = 0;  // summed changed-record counts (workset mode)
-    std::map<int, int64_t> worker_dur;  // worker -> max duration
-  };
-  std::map<int, PendingIter> pending;  // iteration -> reports (current gen)
-  int generation = 0;
-  int decided = 0;
-  int last_ckpt = 0;
-  int aux_stop_at = INT32_MAX;
-  int last_migration_iter = 0;
-  std::set<int> dead_workers;
-  bool terminating = false;
-  int done_count = 0;
+void JobRun::master_loop() {
+  // Protocol state lives in members (a session re-enters this loop once per
+  // epoch); the aliases keep the body identical to the single-run shape.
+  VClock& mvt = mvt_;
+  std::map<int, PendingIter>& pending = pending_;
+  int& generation = generation_;
+  int& decided = decided_;
+  int& last_ckpt = last_ckpt_;
+  int& aux_stop_at = aux_stop_at_;
+  int& last_migration_iter = last_migration_iter_;
+  std::set<int>& dead_workers = dead_workers_;
+  bool& terminating = terminating_;
+  int& done_count = done_count_;
   Histogram& iter_hist = cluster_.metrics().histogram("iteration_wall_us");
-  double last_decided_wall_ms = 0;
+  double& last_decided_wall_ms = last_decided_wall_ms_;
 
   auto broadcast_terminate = [&](int iter) {
     terminating = true;
@@ -1402,6 +1743,9 @@ void JobRun::master_loop(VClock& mvt) {
     }
     pending.clear();
     decided = ckpt_iter;
+    // A partially collected quiesce is void too: the epoch re-converges and
+    // re-quiesces under the new generation (stale acks are gen-filtered).
+    ckpt_acks_ = 0;
     // A convergence verdict reached under the old generation is void: the
     // rolled-back iterations will re-run and re-signal if still converged.
     aux_stop_at = INT32_MAX;
@@ -1415,7 +1759,11 @@ void JobRun::master_loop(VClock& mvt) {
     report_.rollback_iterations.push_back(ckpt_iter);
   };
 
-  while (done_count < T_) {
+  // close_session() re-enters the loop one last time to terminate the
+  // parked tasks and collect their Done notices.
+  if (close_requested_ && !terminating) broadcast_terminate(decided);
+
+  while (done_count < T_ && !quiesced_) {
     auto msg = master_ep_->receive(mvt);
     if (!msg) break;
     if (msg->kind != NetMessage::Kind::kControl) continue;
@@ -1434,6 +1782,12 @@ void JobRun::master_loop(VClock& mvt) {
         // record count for the state-conservation rule.
         report_.final_part_iterations.push_back(ctl.iteration);
         report_.final_state_records += ctl.state_records;
+        break;
+      }
+      case CtlType::kCkptAck: {
+        // Session quiesce barrier: all T_ baseline checkpoints written.
+        if (ctl.generation != generation || ctl.session != session_id_) break;
+        if (++ckpt_acks_ >= T_) quiesced_ = true;
         break;
       }
       case CtlType::kAuxSignal: {
@@ -1520,6 +1874,7 @@ void JobRun::master_loop(VClock& mvt) {
           st.iteration = decided;
           st.wall_ms_end = mvt.now_ms();
           st.distance = done_iter.distance;
+          st.session = session_id_;
           if (conf_.workset_mode) st.workset_size = done_iter.workset;
           report_.iterations.push_back(st);
           iter_hist.record(static_cast<int64_t>(
@@ -1539,17 +1894,39 @@ void JobRun::master_loop(VClock& mvt) {
         // Drain termination (DESIGN.md §7): a workset run whose merged
         // changed-record count hits zero has reached its fixpoint — nothing
         // would be mapped next iteration, so the job stops here.
+        // Each session epoch gets a fresh max_iterations budget counted
+        // from its resume base (epoch_base_ is 0 outside sessions, so this
+        // is the plain `decided >= max_iterations` for normal runs).
         const bool drained = conf_.workset_mode && done_iter.workset == 0;
-        bool stop = decided >= conf_.max_iterations ||
+        const bool budget_spent =
+            decided - epoch_base_ >= conf_.max_iterations;
+        bool stop = budget_spent ||
                     (conf_.distance_threshold >= 0 &&
                      done_iter.distance < conf_.distance_threshold) ||
                     drained || decided >= aux_stop_at;
         if (stop) {
           report_.converged =
-              drained ||
-              decided < conf_.max_iterations ||
+              drained || !budget_spent ||
               (conf_.distance_threshold >= 0 &&
                done_iter.distance < conf_.distance_threshold);
+          if (session_mode_) {
+            // Quiesce instead of terminate: every reduce dumps the epoch's
+            // converged-<session> baseline and acks; the acks flip
+            // quiesced_ and the loop returns with all tasks parked.
+            ckpt_acks_ = 0;
+            TraceRecorder::instance().instant("session_quiesce",
+                                              mvt.now_ns(), decided,
+                                              generation);
+            CtlMsg cc;
+            cc.type = CtlType::kConvergedCkpt;
+            cc.iteration = decided;
+            cc.generation = generation;
+            cc.session = session_id_;
+            for (int idx = 0; idx < T_; ++idx) {
+              master_send(mvt, *red_ep(0, idx), cc);
+            }
+            break;
+          }
           broadcast_terminate(decided);
           break;
         }
@@ -1634,7 +2011,7 @@ void JobRun::master_loop(VClock& mvt) {
 // execute
 // ---------------------------------------------------------------------------
 
-RunReport JobRun::execute() {
+void JobRun::start() {
   conf_.validate();
   for (const auto& ph : conf_.phases) {
     if (ph.mapping == Mapping::kOne2All && ph.static_path.empty()) {
@@ -1688,20 +2065,18 @@ RunReport JobRun::execute() {
   }
 
   // One-time job initialization (§3.1).
-  VClock mvt;
   // The master thread's trace timeline for this job; the "job" span brackets
   // everything from init to the post-join report.
-  TraceRecorder::TrackHandle prev_track = nullptr;
-  bool traced = TraceRecorder::enabled();
-  if (traced) {
-    prev_track =
+  traced_ = TraceRecorder::enabled();
+  if (traced_) {
+    prev_track_ =
         TraceRecorder::instance().begin_thread_track(tag_ + "/master", -1);
   }
-  TraceSpan job_span("job", mvt);
-  mvt.advance(cost_.job_init);
+  job_span_.emplace("job", mvt_);
+  mvt_.advance(cost_.job_init);
   cluster_.metrics().add_time(TimeCategory::kJobInit, cost_.job_init);
   cluster_.metrics().inc("jobs_submitted");
-  const int64_t base_vt = mvt.now_ns();
+  const int64_t base_vt = mvt_.now_ns();
 
   for (int i = 0; i < T_; ++i) spawn_pair(i, /*gen=*/0, /*start_iter=*/1, base_vt);
   for (int a = 0; a < aux_maps; ++a) {
@@ -1714,14 +2089,20 @@ RunReport JobRun::execute() {
       run_aux_reduce(j, /*gen=*/0, /*start_iter=*/1, aep);
     });
   }
+  started_ = true;
+}
 
+void JobRun::run_master() {
   try {
-    master_loop(mvt);
+    master_loop();
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+}
 
+RunReport JobRun::finish() {
+  closed_ = true;
   // Teardown runs unconditionally, errors or not: a failed job must not
   // leave endpoints registered on the fabric or checkpoints in the DFS.
   // Make absolutely sure every task unblocks, then join.
@@ -1735,6 +2116,17 @@ RunReport JobRun::execute() {
     cluster_.fabric().remove_endpoint(ep->name());
   }
   cluster_.fabric().remove_endpoint(master_ep_->name());
+  // Release our own endpoint references so the destructors run NOW and any
+  // undrained message lands on the discard ledger before finish() returns.
+  // A plain run() destroys the JobRun immediately, but a session's JobRun
+  // outlives close_session() inside the JobSession handle — without this the
+  // ledger would read delivered > received + discarded until the session
+  // object itself died.
+  map_ep_.clear();
+  red_ep_.clear();
+  aux_map_ep_.clear();
+  aux_red_ep_.clear();
+  master_ep_.reset();
 
   // Checkpoints are recovery-scoped; a job garbage-collects its own
   // (including any torn part a mid-write crash left behind).
@@ -1746,22 +2138,245 @@ RunReport JobRun::execute() {
   }
 
   report_.label = conf_.name + "/imapreduce";
-  report_.total_wall_ms = static_cast<double>(std::max(final_vt_, mvt.now_ns())) / 1e6;
+  report_.total_wall_ms =
+      static_cast<double>(std::max(final_vt_, mvt_.now_ns())) / 1e6;
   report_.init_wall_ms =
       sim_to_ms(cost_.job_init) + sim_to_ms(cost_.task_init);
   report_.iterations_run =
       report_.iterations.empty() ? 0 : report_.iterations.back().iteration;
   report_.capture(cluster_.metrics());
-  job_span.end();
-  if (traced) TraceRecorder::instance().set_thread_track(prev_track);
+  if (job_span_) job_span_->end();
+  if (traced_) TraceRecorder::instance().set_thread_track(prev_track_);
   return report_;
 }
 
-}  // namespace
+RunReport JobRun::execute() {
+  start();
+  run_master();
+  return finish();
+}
+
+// ---------------------------------------------------------------------------
+// Job sessions (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+RunReport JobRun::epoch_report(const std::string& label) {
+  RunReport r;
+  r.label = label;
+  r.total_wall_ms = mvt_.now_ms() - epoch_start_ms_;
+  r.converged = report_.converged;
+  std::size_t first = std::min(epoch_first_stat_, report_.iterations.size());
+  r.iterations.assign(
+      report_.iterations.begin() + static_cast<std::ptrdiff_t>(first),
+      report_.iterations.end());
+  r.iterations_run =
+      r.iterations.empty() ? 0 : r.iterations.back().iteration - epoch_base_;
+  r.capture(cluster_.metrics());
+  return r;
+}
+
+RunReport JobRun::converge() {
+  start();
+  epoch_start_ms_ = 0;
+  epoch_first_stat_ = 0;
+  run_master();
+  if (!quiesced_) {
+    // A task error unwound the run before it could park; tear everything
+    // down and surface the failure.
+    finish();
+    throw Error(tag_ + ": session run ended without quiescing");
+  }
+  last_report_ = epoch_report(conf_.name + "/session-initial");
+  return last_report_;
+}
+
+RunReport JobRun::apply_update(const StaticDelta& delta) {
+  IMR_CHECK_MSG(started_ && !closed_, "apply_update on a closed session");
+  IMR_CHECK_MSG(quiesced_, "apply_update before the session quiesced");
+  epoch_start_ms_ = mvt_.now_ms();
+  const int new_session = session_id_ + 1;
+  TraceSpan update_span("session_update", mvt_, new_session, generation_);
+
+  // Route ops to their owning map partitions — the same partition_of the
+  // shuffle and the DFS partition reader use, so an op always lands on the
+  // task whose store holds (or will hold) its key.
+  std::vector<KVVec> routed(static_cast<std::size_t>(T_));
+  for (const StaticDeltaOp& op : delta.ops) {
+    routed[partition_of(op.key, static_cast<uint32_t>(T_))].push_back(
+        delta_op_to_kv(op));
+  }
+  cluster_.metrics().inc("imr_delta_ops_routed",
+                         static_cast<int64_t>(delta.ops.size()));
+  {
+    // The history feeds recovery replay: a map respawned later in the
+    // session rebuilds its store from the original input plus every batch.
+    std::lock_guard<std::mutex> lock(session_mu_);
+    delta_history_.push_back(delta.ops);
+  }
+  // Every map gets its slice — possibly empty; the ack doubles as the
+  // barrier — applies it, and answers with seeds + a refining verdict.
+  for (int idx = 0; idx < T_; ++idx) {
+    CtlMsg d;
+    d.type = CtlType::kDelta;
+    d.task = idx;
+    d.iteration = decided_;
+    d.generation = generation_;
+    d.session = new_session;
+    NetMessage msg;
+    msg.kind = NetMessage::Kind::kControl;
+    msg.from_task = -1;
+    msg.iteration = decided_;
+    msg.generation = generation_;
+    msg.control = d.encode();
+    msg.set_records(std::move(routed[static_cast<std::size_t>(idx)]));
+    cluster_.fabric().send(/*sender_worker=*/-1, mvt_, *map_ep(0, idx),
+                           std::move(msg), TrafficCategory::kControl);
+  }
+  // Collect the T_ acks. Every task is parked, so no data, reports, or
+  // failure notices race this loop; stale-session acks are filtered.
+  int acks = 0;
+  bool reset_all = false;
+  KVVec all_seeds;
+  while (acks < T_) {
+    auto msg = master_ep_->receive(mvt_);
+    IMR_CHECK_MSG(msg.has_value(), "master endpoint closed mid-update");
+    if (msg->kind != NetMessage::Kind::kControl) continue;
+    CtlMsg ctl = CtlMsg::decode(msg->control);
+    if (ctl.type != CtlType::kDeltaAck || ctl.session != new_session ||
+        ctl.generation != generation_) {
+      continue;
+    }
+    ++acks;
+    if (ctl.workset_size == 0) reset_all = true;
+    KVVec seeds = msg->take_records();
+    all_seeds.insert(all_seeds.end(), std::make_move_iterator(seeds.begin()),
+                     std::make_move_iterator(seeds.end()));
+  }
+  // Deduplicate seeds (first-in-sorted-order wins, mirroring the static
+  // store's duplicate-key rule) and bucket them by owning reduce partition.
+  sort_records(all_seeds, /*sort_values=*/false);
+  all_seeds.erase(
+      std::unique(all_seeds.begin(), all_seeds.end(),
+                  [](const KV& a, const KV& b) { return a.key == b.key; }),
+      all_seeds.end());
+  std::vector<KVVec> seeds_by_part(static_cast<std::size_t>(T_));
+  if (!reset_all) {
+    for (KV& kv : all_seeds) {
+      seeds_by_part[partition_of(kv.key, static_cast<uint32_t>(T_))].push_back(
+          std::move(kv));
+    }
+  }
+
+  // The drain tail polluted iteration decided_+1 (async maps processed it
+  // as an empty iteration); the epoch resumes AFTER it, at base+1.
+  const int base = decided_ + 1;
+  // The drain tail also ran ahead under the old generation: an async map may
+  // have finished iterations PAST base before this resume reaches it, leaving
+  // its own eos in the reduces' stashes and consuming eos the new epoch will
+  // re-send under the same iteration numbers. Resuming under a fresh
+  // generation makes that residue distinguishable — every parked task adopts
+  // the new generation from the kResume and the inbox filter then drops the
+  // old epoch's traffic exactly like post-rollback stale messages.
+  ++generation_;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    session_id_ = new_session;
+    session_base_ = base;
+    session_reset_all_ = reset_all;
+    session_baseline_dir_ = converged_path(new_session - 1);
+    epoch_seeds_ = std::move(seeds_by_part);
+  }
+  decided_ = base;
+  epoch_base_ = base;
+  last_ckpt_ = base;
+  pending_.clear();
+  aux_stop_at_ = INT32_MAX;
+  quiesced_ = false;
+  report_.converged = false;
+  epoch_first_stat_ = report_.iterations.size();
+  cluster_.metrics().inc("imr_session_epochs");
+  if (reset_all) cluster_.metrics().inc("imr_session_resets");
+  IMR_INFO << tag_ << ": session epoch " << new_session
+           << " resuming at iter " << base + 1
+           << (reset_all ? " (full replay)" : " (incremental)");
+
+  CtlMsg rs;
+  rs.type = CtlType::kResume;
+  rs.iteration = base;
+  rs.generation = generation_;
+  rs.session = new_session;
+  rs.workset_size = reset_all ? 1 : 0;
+  for (int idx = 0; idx < T_; ++idx) {
+    rs.task = idx;
+    master_send(mvt_, *red_ep(0, idx), rs);
+    master_send(mvt_, *map_ep(0, idx), rs);
+  }
+  run_master();
+  if (!quiesced_) {
+    finish();
+    throw Error(tag_ + ": session epoch ended without quiescing");
+  }
+  last_report_ = epoch_report(conf_.name + "/session-epoch-" +
+                              std::to_string(new_session));
+  return last_report_;
+}
+
+RunReport JobRun::close_session() {
+  if (closed_) return report_;
+  if (!started_) {
+    closed_ = true;
+    return report_;
+  }
+  close_requested_ = true;
+  quiesced_ = false;
+  run_master();
+  return finish();
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
 
 RunReport IterativeEngine::run(const IterJobConf& conf) {
-  JobRun run(cluster_, conf);
+  detail::JobRun run(cluster_, conf);
   return run.execute();
 }
+
+JobSession IterativeEngine::open_session(const IterJobConf& conf) {
+  if (!conf.workset_mode) {
+    throw ConfigError(
+        "open_session requires a workset_mode job: incremental "
+        "reconvergence is defined over frontiers");
+  }
+  auto run = std::make_unique<detail::JobRun>(cluster_, conf,
+                                              /*session_mode=*/true);
+  run->converge();
+  return JobSession(std::move(run));
+}
+
+JobSession::JobSession(std::unique_ptr<detail::JobRun> run)
+    : run_(std::move(run)) {}
+JobSession::JobSession(JobSession&&) noexcept = default;
+JobSession& JobSession::operator=(JobSession&&) noexcept = default;
+JobSession::~JobSession() {
+  if (run_ && !run_->closed()) {
+    try {
+      run_->close_session();
+    } catch (...) {
+      // Destructors must not throw; call close() explicitly to observe
+      // teardown errors.
+    }
+  }
+}
+const RunReport& JobSession::last_report() const {
+  return run_->last_report();
+}
+RunReport JobSession::apply_update(const StaticDelta& delta) {
+  return run_->apply_update(delta);
+}
+RunReport JobSession::close() { return run_->close_session(); }
+bool JobSession::closed() const { return !run_ || run_->closed(); }
 
 }  // namespace imr

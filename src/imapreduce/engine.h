@@ -22,13 +22,64 @@
 //     live workers and rolls everyone back to the last checkpoint.
 //   - LOAD BALANCING (§3.4.2): per-iteration completion reports drive
 //     migration of a pair from the slowest to the fastest worker.
+//   - JOB SESSIONS (DESIGN.md §8): open_session() runs a workset job to
+//     convergence and then keeps the persistent tasks, their in-memory
+//     static indexes, and the converged state RESIDENT. apply_update()
+//     feeds a batch of static-delta ops to the owning map tasks and
+//     re-iterates only from the perturbed keys (or, for non-monotone
+//     deltas, replays the full iteration in place) until the frontier
+//     drains again — the reconverged state is byte-identical to a cold run
+//     over the mutated input. close() dumps the final state and tears the
+//     job down.
 #pragma once
+
+#include <memory>
 
 #include "cluster/cluster.h"
 #include "imapreduce/conf.h"
+#include "imapreduce/delta.h"
 #include "metrics/metrics.h"
 
 namespace imr {
+
+namespace detail {
+class JobRun;
+}  // namespace detail
+
+// A resident converged job accepting static-delta update batches. Obtained
+// from IterativeEngine::open_session; the underlying persistent tasks stay
+// parked (alive, state in memory) between calls. Move-only. close() must be
+// called to dump the final state; the destructor closes as a safety net,
+// swallowing errors.
+class JobSession {
+ public:
+  JobSession(JobSession&&) noexcept;
+  JobSession& operator=(JobSession&&) noexcept;
+  ~JobSession();
+
+  // Report of the most recent epoch: the initial convergence after
+  // open_session, then each apply_update's reconvergence.
+  const RunReport& last_report() const;
+
+  // Applies one update batch: routes ops to the owning map tasks, mutates
+  // their static stores in place, seeds the resume frontier from the
+  // algorithms' perturbed_keys hooks, and re-runs workset iterations until
+  // the frontier drains. Returns the reconvergence epoch's report (wall time
+  // covers resume -> quiesce only).
+  RunReport apply_update(const StaticDelta& delta);
+
+  // Terminates the resident tasks; the final state is dumped to
+  // conf.output_path/part-<i> exactly as a plain run() would. Returns the
+  // cumulative report of the whole session. Idempotent.
+  RunReport close();
+
+  bool closed() const;
+
+ private:
+  friend class IterativeEngine;
+  explicit JobSession(std::unique_ptr<detail::JobRun> run);
+  std::unique_ptr<detail::JobRun> run_;
+};
 
 class IterativeEngine {
  public:
@@ -37,6 +88,12 @@ class IterativeEngine {
   // Runs the iterative job to termination and returns the per-iteration
   // virtual-time report. Final state is written to conf.output_path/part-<i>.
   RunReport run(const IterJobConf& conf);
+
+  // Runs the job to its first convergence and returns a session holding the
+  // converged tasks resident (conf must be a workset_mode job — incremental
+  // reconvergence is defined over frontiers). last_report() on the returned
+  // session is the initial run's report.
+  JobSession open_session(const IterJobConf& conf);
 
  private:
   Cluster& cluster_;

@@ -76,14 +76,28 @@ std::vector<std::string> InvariantChecker::check(
       }
     }
 
-    // 5. Iteration ledger: strictly +1 steps. A rollback truncates the
-    // entries above the restored checkpoint before the re-run appends, so
-    // even a recovered run must read as one consecutive sequence —
-    // duplicated or regressing entries mean the truncation was skipped.
+    // 5. Iteration ledger: strictly +1 steps within a session. A rollback
+    // truncates the entries above the restored checkpoint before the re-run
+    // appends, so even a recovered run must read as one consecutive
+    // sequence — duplicated or regressing entries mean the truncation was
+    // skipped. A session boundary (apply_update) resumes above the decided
+    // drain iteration, so across it the ledger must only advance.
     for (std::size_t n = 1; n < r.iterations.size(); ++n) {
       int prev = r.iterations[n - 1].iteration;
       int cur = r.iterations[n].iteration;
-      if (cur != prev + 1) {
+      int prev_sess = r.iterations[n - 1].session;
+      int cur_sess = r.iterations[n].session;
+      if (cur_sess < prev_sess) {
+        fail(strprintf("session ledger regresses %d -> %d at iteration %d",
+                       prev_sess, cur_sess, cur));
+      }
+      if (cur_sess != prev_sess) {
+        if (cur <= prev) {
+          fail(strprintf("iteration ledger regresses %d -> %d across the "
+                         "session %d -> %d boundary",
+                         prev, cur, prev_sess, cur_sess));
+        }
+      } else if (cur != prev + 1) {
         fail(strprintf("iteration ledger jumps %d -> %d; entries must step "
                        "by one even across rollbacks",
                        prev, cur));
@@ -141,7 +155,13 @@ std::vector<std::string> InvariantChecker::check(
                        static_cast<long long>(
                            expect.expected_state_records)));
       }
-      if (ws == 0 && n + 1 < r.iterations.size()) {
+      // A drained workset may only be followed, within the same session, by
+      // further drained entries (a recovery that rolled back to the drain
+      // checkpoint re-decides them); a non-zero after a zero means the run
+      // kept iterating past its fixpoint.
+      if (ws == 0 && n + 1 < r.iterations.size() &&
+          r.iterations[n + 1].session == r.iterations[n].session &&
+          r.iterations[n + 1].workset_size != 0) {
         fail(strprintf("workset drained at iteration %d but the run kept "
                        "iterating past its fixpoint",
                        iter));
@@ -153,6 +173,25 @@ std::vector<std::string> InvariantChecker::check(
     fail(strprintf("expected %d recoveries, metrics count %lld",
                    expect.expected_recoveries,
                    static_cast<long long>(metrics_.count("imr_recoveries"))));
+  }
+
+  // 9. Delta conservation: every routed static-delta op was applied by
+  // exactly one map task. Replay (imr_delta_ops_replayed) re-applies ops to
+  // a REBUILT store during recovery and is deliberately outside this
+  // balance — it never pairs with a route.
+  {
+    int64_t routed = metrics_.count("imr_delta_ops_routed");
+    int64_t applied = metrics_.count("imr_delta_ops_applied");
+    if (routed != applied) {
+      fail(strprintf("delta ledger: %lld ops routed but %lld applied",
+                     static_cast<long long>(routed),
+                     static_cast<long long>(applied)));
+    }
+    if (expect.expected_delta_ops >= 0 && routed != expect.expected_delta_ops) {
+      fail(strprintf("expected %lld delta ops, routed %lld",
+                     static_cast<long long>(expect.expected_delta_ops),
+                     static_cast<long long>(routed)));
+    }
   }
 
   return violations;

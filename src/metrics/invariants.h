@@ -34,8 +34,14 @@
 //   8. workset ledger        — bulk runs record no workset sizes (-1
 //      sentinel everywhere); workset runs record a non-negative size per
 //      decided iteration, never exceeding the state record count, and a
-//      drained (zero) workset appears only on the final iteration —
-//      anywhere earlier means the run kept iterating past its fixpoint.
+//      drained (zero) workset appears only as a suffix of its session —
+//      a zero followed by a non-zero in the SAME session means the run kept
+//      iterating past its fixpoint (trailing zeros are legal: a recovery
+//      that rolls back to the drain checkpoint re-decides drained
+//      iterations before quiescing);
+//   9. delta conservation    — every static-delta op the session master
+//      routed was applied by exactly one map task (job sessions mutate the
+//      static stores exactly once per op, no loss, no double-apply).
 #pragma once
 
 #include <cstdint>
@@ -74,6 +80,11 @@ struct InvariantExpectations {
   // Whether the run was a workset-mode run; drives the workset ledger rule
   // (invariant 8) in both directions.
   bool workset_mode = false;
+  // Exact number of static-delta ops the session was fed (-1 = skip the
+  // exact-count check; the routed == applied conservation is always on).
+  // Replayed ops (recovery rebuilds) are counted separately and are NOT
+  // part of this balance.
+  int64_t expected_delta_ops = -1;
 };
 
 class InvariantChecker {

@@ -188,6 +188,9 @@ struct IterationStat {
   // Workset mode: total records changed across all reduce tasks this
   // iteration (the size of the next frontier); -1 in bulk mode.
   int64_t workset_size = -1;
+  // Job-session epoch this iteration ran in (0 = the initial run; each
+  // apply_update starts the next epoch). Always 0 outside sessions.
+  int session = 0;
 };
 
 struct RunReport {

@@ -54,12 +54,6 @@ ChannelStats Fabric::channel_stats() const {
   return s;
 }
 
-bool Fabric::draw_drop() {
-  std::lock_guard<std::mutex> lock(fault_mu_);
-  if (faults_.drop_rate <= 0) return false;
-  return fault_rng_.uniform_real(0.0, 1.0) < faults_.drop_rate;
-}
-
 void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
                   TrafficCategory category) {
   if (sender_worker >= 0 && liveness_ && !liveness_(sender_worker)) {
@@ -87,13 +81,24 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
   // deterministic.
   if (faults_armed_.load(std::memory_order_relaxed)) {
     ChannelFaultConfig faults;
+    int drops = 0;
     {
+      // One lock scope per send: snapshot the config AND draw every retry's
+      // drop from it, instead of re-acquiring fault_mu_ (and re-reading
+      // faults_) once per attempt. The draws stay lazy — one uniform per
+      // attempt, stopping at the first non-drop — so a same-seed run consumes
+      // fault_rng_ in exactly the order the per-attempt draw_drop() did.
       std::lock_guard<std::mutex> lock(fault_mu_);
       faults = faults_;
+      if (faults.drop_rate > 0) {
+        while (drops + 1 < faults.max_attempts &&
+               fault_rng_.uniform_real(0.0, 1.0) < faults.drop_rate) {
+          ++drops;
+        }
+      }
     }
     SimDuration backoff = faults.retry_timeout;
-    for (int attempt = 1; attempt < faults.max_attempts && draw_drop();
-         ++attempt) {
+    for (int i = 0; i < drops; ++i) {
       ledger_->attempts.fetch_add(1, std::memory_order_relaxed);
       ledger_->dropped.fetch_add(1, std::memory_order_relaxed);
       vt.advance(ser + backoff);

@@ -287,12 +287,6 @@ class Fabric {
                  const NetMessage& msg, TrafficCategory category);
 
  private:
-  // True when this attempt is fault-dropped (seeded; serialized by a mutex —
-  // the draw *order* across sender threads affects only which sends pay the
-  // retry penalty, never message contents or per-sender FIFO order). Only
-  // reached when faults_armed_ is set.
-  bool draw_drop();
-
   const CostModel& cost_;
   MetricsRegistry& metrics_;
   std::function<bool(int)> liveness_;  // set before any concurrency

@@ -197,6 +197,40 @@ TEST(Params, TypedAccessors) {
   EXPECT_THROW(p.get("missing"), ConfigError);
 }
 
+TEST(Strings, ParseDoubleStrictRejectsNonNumbers) {
+  double out = -1.0;
+  // The whole string must be a number: no trailing junk, no comma decimals
+  // (under a de_DE locale std::stod would read "1,5" as 1.5 and "0.85" as 0
+  // — the strict parser is locale-independent by construction).
+  EXPECT_FALSE(parse_double_strict("", out));
+  EXPECT_FALSE(parse_double_strict(" 1.5", out));
+  EXPECT_FALSE(parse_double_strict("1.5 ", out));
+  EXPECT_FALSE(parse_double_strict("1.5x", out));
+  EXPECT_FALSE(parse_double_strict("1,5", out));
+  EXPECT_FALSE(parse_double_strict("1e", out));
+  EXPECT_FALSE(parse_double_strict("nanx", out));
+  EXPECT_FALSE(parse_double_strict("1e999999", out));  // out of range
+
+  ASSERT_TRUE(parse_double_strict("0.85", out));
+  EXPECT_EQ(out, 0.85);
+  ASSERT_TRUE(parse_double_strict("-1e-300", out));
+  EXPECT_EQ(out, -1e-300);
+  ASSERT_TRUE(parse_double_strict("2.5e-17", out));
+  EXPECT_EQ(out, 2.5e-17);
+  ASSERT_TRUE(parse_double_strict("-0.5", out));
+  EXPECT_EQ(out, -0.5);
+}
+
+TEST(Params, SetDoubleRejectsMalformedStrings) {
+  Params p;
+  p.set("bad", "0,85");
+  EXPECT_THROW(p.get_double("bad"), ConfigError);
+  p.set("junk", "1.5extra");
+  EXPECT_THROW(p.get_double("junk"), ConfigError);
+  p.set("ok", "0.85");
+  EXPECT_EQ(p.get_double("ok"), 0.85);
+}
+
 TEST(Params, DoublesRoundTripExactly) {
   // std::to_string would flatten sub-5e-7 magnitudes to "0.000000" — a
   // workset delta threshold of 1e-7 must survive the string encoding

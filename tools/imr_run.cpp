@@ -14,6 +14,13 @@
 //   --workset              workset (frontier) iteration for the imr engine
 //                          (sssp | concomp | pagerank; pagerank switches to
 //                          its delta-accumulation formulation)
+//   --update-batch PATH    evolving-input session (requires --workset and a
+//                          graph algorithm): converge, then replay the graph
+//                          edits in PATH against the live session instead of
+//                          recomputing from scratch. One edit per line:
+//                            add <u> <v> [w] | remove <u> <v> | weight <u> <v> <w>
+//                          A line of "---" ends a batch; each batch is one
+//                          apply_update() epoch.
 //   --delta-threshold X    pagerank --workset share threshold (default 1e-8)
 //   --buffer N             reduce->map send buffer records
 //   --checkpoint N         checkpoint every N iterations
@@ -29,8 +36,11 @@
 // Dataset flags: --graph <name> --scale <s> (graph algorithms),
 //   --points/--dim/--clusters (kmeans), --samples/--lr (logreg),
 //   --n/--density (jacobi), --n (matpower).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "algorithms/concomp.h"
 #include "algorithms/jacobi.h"
@@ -42,6 +52,7 @@
 #include "bench_util/harness.h"
 #include "common/flags.h"
 #include "common/log.h"
+#include "common/strings.h"
 #include "graph/generator.h"
 #include "imapreduce/engine.h"
 #include "mapreduce/iterative_driver.h"
@@ -69,6 +80,7 @@ struct Options {
   uint64_t seed = 42;
   bool report = false;
   std::string trace;  // trace export path; empty = no tracing
+  std::string update_batch;  // graph-edit script; empty = plain run
 };
 
 Options parse_options(const Flags& flags) {
@@ -89,6 +101,7 @@ Options parse_options(const Flags& flags) {
   o.data_scale = flags.get_double("data-scale", 1.0);
   o.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
   o.report = flags.get_bool("report");
+  o.update_batch = flags.get("update-batch", "");
   o.trace = flags.get("trace", "");
   if (o.trace.empty()) {
     // IMR_TRACE=<path> arms tracing at process start (see metrics/trace.h);
@@ -115,10 +128,107 @@ void apply_common(IterJobConf& conf, const Options& o) {
   conf.load_balancing = o.balance;
 }
 
+// One parsed batch of graph edits from an --update-batch script.
+using EditBatch = std::vector<std::vector<std::string>>;
+
+// Splits the script into batches at "---" lines; "#" starts a comment.
+std::vector<EditBatch> parse_update_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open update batch: " + path);
+  std::vector<EditBatch> batches(1);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tok(line);
+    std::vector<std::string> words;
+    std::string w;
+    while (tok >> w) words.push_back(w);
+    if (words.empty()) continue;
+    if (words[0] == "---") {
+      if (!batches.back().empty()) batches.emplace_back();
+      continue;
+    }
+    batches.back().push_back(std::move(words));
+  }
+  if (batches.back().empty()) batches.pop_back();
+  return batches;
+}
+
+uint32_t parse_node(const std::string& s, uint32_t num_nodes) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v >= num_nodes) {
+    throw Error("update batch: bad node id '" + s + "'");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+// Applies one batch of edits to a copy of `g` and returns the mutated graph.
+Graph apply_edits(const Graph& g, const EditBatch& batch) {
+  Graph out = g;
+  for (const auto& words : batch) {
+    const std::string& op = words[0];
+    if ((op == "add" && (words.size() < 3 || words.size() > 4)) ||
+        (op == "remove" && words.size() != 3) ||
+        (op == "weight" && words.size() != 4)) {
+      throw Error("update batch: malformed edit '" + join(words, " ") + "'");
+    }
+    if (op != "add" && op != "remove" && op != "weight") {
+      throw Error("update batch: unknown op '" + op + "'");
+    }
+    const uint32_t u = parse_node(words[1], out.num_nodes());
+    const uint32_t v = parse_node(words[2], out.num_nodes());
+    double w = 1.0;
+    if (words.size() == 4 && !parse_double_strict(words[3], w)) {
+      throw Error("update batch: bad weight '" + words[3] + "'");
+    }
+    auto& edges = out.adj[u];
+    auto it = std::find_if(edges.begin(), edges.end(),
+                           [v](const WEdge& e) { return e.dst == v; });
+    if (op == "remove") {
+      if (it == edges.end()) {
+        throw Error("update batch: remove of absent edge " + words[1] + "->" +
+                    words[2]);
+      }
+      edges.erase(it);
+    } else if (it != edges.end()) {
+      it->weight = w;
+    } else {
+      edges.push_back(WEdge{v, w});
+    }
+  }
+  return out;
+}
+
 void print_outcome(const char* label, const RunReport& r) {
   std::printf("%-22s %3d iterations  %10.1f virtual s  %s\n", label,
               r.iterations_run, r.total_wall_ms / 1e3,
               r.converged ? "(converged)" : "");
+}
+
+// Evolving-input session (DESIGN.md §8): converge once, then absorb each
+// edit batch through apply_update instead of recomputing from scratch.
+RunReport run_update_session(Cluster& cluster, const IterJobConf& conf,
+                             Graph g, const std::vector<EditBatch>& batches,
+                             StaticDelta (*delta_fn)(const Graph&,
+                                                     const Graph&)) {
+  IterativeEngine engine(cluster);
+  JobSession session = engine.open_session(conf);
+  print_outcome("session converge:", session.last_report());
+  int n = 0;
+  for (const EditBatch& batch : batches) {
+    Graph g1 = apply_edits(g, batch);
+    const StaticDelta delta = delta_fn(g, g1);
+    const RunReport ep = session.apply_update(delta);
+    const std::string label =
+        "update batch " + std::to_string(++n) + " (" +
+        std::to_string(batch.size()) + " edits, " +
+        std::to_string(delta.size()) + " ops):";
+    print_outcome(label.c_str(), ep);
+    g = std::move(g1);
+  }
+  return session.close();
 }
 
 int usage() {
@@ -144,10 +254,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!o.update_batch.empty() && !o.workset) {
+    std::fprintf(stderr,
+                 "error: --update-batch needs --workset (sessions reconverge "
+                 "from a frontier) and a graph algorithm\n");
+    return 2;
+  }
+
   if (!o.trace.empty()) TraceRecorder::instance().enable();
 
   auto cluster = make_cluster(o);
-  const bool run_mr = o.engine == "mr" || o.engine == "both";
+  // An update session has no MapReduce counterpart — the baseline for
+  // evolving inputs IS the cold recompute, which `--engine imr` without
+  // --update-batch gives you.
+  const bool session = !o.update_batch.empty();
+  const bool run_mr = !session && (o.engine == "mr" || o.engine == "both");
   const bool run_imr = o.engine == "imr" || o.engine == "both";
   RunReport mr, imr;
 
@@ -173,7 +294,11 @@ int main(int argc, char** argv) {
           IterJobConf conf =
               Sssp::imapreduce("data", "out", o.iterations, o.threshold);
           apply_common(conf, o);
-          imr = IterativeEngine(*cluster).run(conf);
+          imr = session ? run_update_session(
+                              *cluster, conf, g,
+                              parse_update_script(o.update_batch),
+                              &Sssp::static_delta)
+                        : IterativeEngine(*cluster).run(conf);
         }
       } else if (algo == "pagerank") {
         PageRank::setup(*cluster, g, "data");
@@ -190,7 +315,11 @@ int main(int argc, char** argv) {
           IterJobConf conf = PageRank::imapreduce_delta(
               "data_delta", "out", o.iterations, o.delta_threshold);
           apply_common(conf, o);
-          imr = IterativeEngine(*cluster).run(conf);
+          imr = session ? run_update_session(
+                              *cluster, conf, g,
+                              parse_update_script(o.update_batch),
+                              &PageRank::static_delta)
+                        : IterativeEngine(*cluster).run(conf);
         } else if (run_imr) {
           IterJobConf conf = PageRank::imapreduce(
               "data", "out", g.num_nodes(), o.iterations, o.threshold);
@@ -208,7 +337,11 @@ int main(int argc, char** argv) {
           IterJobConf conf =
               ConComp::imapreduce("data", "out", o.iterations, o.threshold);
           apply_common(conf, o);
-          imr = IterativeEngine(*cluster).run(conf);
+          imr = session ? run_update_session(
+                              *cluster, conf, g,
+                              parse_update_script(o.update_batch),
+                              &ConComp::static_delta)
+                        : IterativeEngine(*cluster).run(conf);
         }
       }
     } else if (algo == "kmeans") {
