@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "imapreduce/static_store.h"
 #include "mapreduce/shuffle_util.h"
+#include "metrics/telemetry.h"
 #include "metrics/trace.h"
 
 namespace imr {
@@ -425,6 +426,23 @@ void BM_FabricSendMTTraceEnabled(benchmark::State& state) {
   mt_send_loop(state, env);
 }
 BENCHMARK(BM_FabricSendMTTraceEnabled)->Threads(1)->Threads(4)->Threads(8);
+
+// Telemetry-overhead series, same discipline as the tracing series above:
+// BM_FabricSendMTDisarmed is the disabled-telemetry baseline (one relaxed
+// atomic load per probe), and this measures the armed ledger — striped
+// matrix counters plus per-iteration buckets — on the same loop. Registered
+// after the tracing series; the init lambda swaps the sticky trace gate off
+// so the two armed costs are not conflated.
+void BM_FabricSendMTTelemetryEnabled(benchmark::State& state) {
+  static MtSendEnv& env = []() -> MtSendEnv& {
+    static MtSendEnv e(/*drop_rate=*/0.0);
+    TraceRecorder::instance().disable();
+    TelemetryRecorder::instance().enable();
+    return e;
+  }();
+  mt_send_loop(state, env);
+}
+BENCHMARK(BM_FabricSendMTTelemetryEnabled)->Threads(1)->Threads(4)->Threads(8);
 
 }  // namespace
 }  // namespace imr

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Gate the observability-probe overhead against BENCH_substrate.json.
+
+Usage: scripts/check_bench_regression.py bench_out.json \
+           [--reference BENCH_substrate.json] [--tolerance 2.0]
+
+`bench_out.json` is google-benchmark's --benchmark_out JSON for a run of
+bench_micro_substrate covering the BM_FabricSendMT* series. The reference
+file records, per probe family (tracing, telemetry), the armed/disarmed
+per-op times captured on the baseline machine as "NNN (X.XM/s)" strings.
+
+Absolute nanoseconds do not transfer between machines (shared CI runners
+drift 2x and more), so the gate compares RATIOS: for each thread count, the
+armed-over-disarmed slowdown measured in this run must not exceed the
+reference slowdown times --tolerance. A disabled-gate regression (the
+one-relaxed-atomic-branch discipline eroding into real work) shows up the
+same way: the armed/disarmed ratio collapses toward 1 only if both paths do
+the work, so the disarmed baseline is additionally checked against the
+armed time of the SAME run (disarmed must stay strictly cheaper).
+"""
+import argparse
+import json
+import re
+import sys
+
+# Reference key -> (disarmed benchmark, armed benchmark) as named by
+# bench_micro_substrate. BM_FabricSendMTDisarmed is the shared
+# gates-off baseline for both probe families.
+SERIES = {
+    "fabric_send_mt_tracing": (
+        "BM_FabricSendMTDisarmed",
+        "BM_FabricSendMTTraceEnabled",
+    ),
+    "fabric_send_mt_telemetry": (
+        "BM_FabricSendMTDisarmed",
+        "BM_FabricSendMTTelemetryEnabled",
+    ),
+}
+THREADS = (1, 4, 8)
+
+
+def ref_ns(cell: str) -> float:
+    """Parse the leading per-op time from a 'NNN (X.XM/s)' reference cell."""
+    m = re.match(r"\s*([0-9.]+)", cell)
+    if not m:
+        raise ValueError(f"unparseable reference cell: {cell!r}")
+    return float(m.group(1))
+
+
+def load_run(path: str) -> dict:
+    """Map 'BM_Name/threads:N' -> real_time ns from a --benchmark_out file.
+
+    Prefers the 'median' aggregate when repetitions were requested; falls
+    back to the plain iteration entry otherwise.
+    """
+    with open(path) as f:
+        out = json.load(f)
+    times = {}
+    for b in out.get("benchmarks", []):
+        name = b["name"]
+        base = name
+        aggregate = b.get("aggregate_name", "")
+        if aggregate:
+            if aggregate != "median":
+                continue
+            base = name.rsplit("_", 1)[0]  # strip '_median'
+        elif b.get("run_type") == "aggregate":
+            continue
+        if base in times and not aggregate:
+            continue  # keep the first (or the median already stored)
+        times[base] = float(b["real_time"])
+    return times
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_out", help="google-benchmark --benchmark_out JSON")
+    ap.add_argument("--reference", default="BENCH_substrate.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="armed/disarmed ratio may exceed the reference ratio by "
+        "at most this factor (default 2.0)",
+    )
+    args = ap.parse_args()
+
+    with open(args.reference) as f:
+        reference = json.load(f)
+    run = load_run(args.bench_out)
+
+    failures = []
+    for key, (disarmed_bm, armed_bm) in SERIES.items():
+        series = reference.get(key)
+        if series is None:
+            print(f"{key}: no reference series, skipping")
+            continue
+        for t in THREADS:
+            tkey = f"threads_{t}"
+            try:
+                ref_ratio = ref_ns(series["enabled"][tkey]) / ref_ns(
+                    series["disabled"][tkey]
+                )
+            except KeyError:
+                print(f"{key}/{tkey}: incomplete reference, skipping")
+                continue
+            disarmed = run.get(f"{disarmed_bm}/threads:{t}")
+            armed = run.get(f"{armed_bm}/threads:{t}")
+            if disarmed is None or armed is None:
+                failures.append(
+                    f"{key}/{tkey}: series missing from the benchmark run "
+                    f"(need {disarmed_bm} and {armed_bm} at threads:{t})"
+                )
+                continue
+            ratio = armed / disarmed
+            limit = ref_ratio * args.tolerance
+            verdict = "ok" if ratio <= limit else "REGRESSION"
+            print(
+                f"{key}/{tkey}: armed {armed:.0f}ns / disarmed "
+                f"{disarmed:.0f}ns = {ratio:.2f}x "
+                f"(reference {ref_ratio:.2f}x, limit {limit:.2f}x) {verdict}"
+            )
+            if ratio > limit:
+                failures.append(
+                    f"{key}/{tkey}: armed/disarmed {ratio:.2f}x exceeds "
+                    f"{limit:.2f}x"
+                )
+            if armed < disarmed * 0.5:
+                # An armed probe measurably CHEAPER than the gated-off path
+                # means the baseline got slower, not the probe faster.
+                failures.append(
+                    f"{key}/{tkey}: disarmed path ({disarmed:.0f}ns) is over "
+                    f"2x slower than armed ({armed:.0f}ns) — the disabled "
+                    f"gate is doing real work"
+                )
+
+    if failures:
+        print("\nFAIL:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nall probe-overhead ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

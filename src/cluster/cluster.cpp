@@ -11,9 +11,10 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   IMR_CHECK(config_.num_workers > 0);
   IMR_CHECK(config_.map_slots_per_worker > 0);
   IMR_CHECK(config_.reduce_slots_per_worker > 0);
+  telemetry_ = std::make_unique<TelemetryLedger>(config_.num_workers);
   dfs_ = std::make_unique<MiniDfs>(config_.num_workers, config_.cost,
-                                   metrics_, config_.seed);
-  fabric_ = std::make_unique<Fabric>(config_.cost, metrics_);
+                                   metrics_, config_.seed, telemetry_.get());
+  fabric_ = std::make_unique<Fabric>(config_.cost, metrics_, telemetry_.get());
   fabric_->set_liveness_probe([this](int w) {
     return w < 0 || w >= config_.num_workers || worker_alive(w);
   });

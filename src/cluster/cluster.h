@@ -19,6 +19,7 @@
 #include "common/error.h"
 #include "dfs/mini_dfs.h"
 #include "metrics/metrics.h"
+#include "metrics/telemetry.h"
 #include "net/fabric.h"
 
 namespace imr {
@@ -50,6 +51,18 @@ class Cluster {
   MetricsRegistry& metrics() { return metrics_; }
   MiniDfs& dfs() { return *dfs_; }
   Fabric& fabric() { return *fabric_; }
+  // Per-cluster telemetry accumulator (traffic matrix, iteration buckets,
+  // hot-key profiles). Always wired into the fabric and DFS; its probes are
+  // inert until the TelemetryRecorder gate is armed.
+  TelemetryLedger& telemetry() { return *telemetry_; }
+
+  // Per-cluster job ordinal, used by the engines to uniquify DFS paths
+  // ("name#N/..."). Scoped to the cluster — not process-global — because the
+  // cluster's DFS is the namespace the tag disambiguates, and because DFS
+  // replica placement is derived from the path: a process-global counter
+  // would give the same job a different tag (hence different placement) on
+  // every fresh-cluster run, breaking same-seed reproducibility.
+  uint64_t next_job_ordinal() { return job_ordinal_.fetch_add(1); }
 
   // --- heterogeneity ---
   // speed = 1.0 is nominal; 0.5 runs user compute twice as slow.
@@ -103,8 +116,12 @@ class Cluster {
 
   ClusterConfig config_;
   MetricsRegistry metrics_;
+  // Declared before the DFS and fabric, which hold raw pointers into it.
+  std::unique_ptr<TelemetryLedger> telemetry_;
   std::unique_ptr<MiniDfs> dfs_;
   std::unique_ptr<Fabric> fabric_;
+
+  std::atomic<uint64_t> job_ordinal_{0};
 
   mutable std::mutex mu_;
   std::vector<double> speeds_;

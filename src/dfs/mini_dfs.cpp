@@ -4,17 +4,23 @@
 
 #include "common/error.h"
 #include "common/hash.h"
+#include "metrics/telemetry.h"
 #include "metrics/trace.h"
 
 namespace imr {
 
 MiniDfs::MiniDfs(int num_workers, const CostModel& cost,
-                 MetricsRegistry& metrics, uint64_t seed)
-    : num_workers_(num_workers), cost_(cost), metrics_(metrics), rng_(seed) {
+                 MetricsRegistry& metrics, uint64_t seed,
+                 TelemetryLedger* telemetry)
+    : num_workers_(num_workers),
+      cost_(cost),
+      metrics_(metrics),
+      telemetry_(telemetry),
+      seed_(seed) {
   IMR_CHECK(num_workers > 0);
 }
 
-std::vector<int> MiniDfs::place_replicas(int writer_worker) {
+std::vector<int> MiniDfs::place_replicas(int writer_worker, Rng& rng) {
   int n = std::min(cost_.dfs_replication, num_workers_);
   std::vector<int> replicas;
   replicas.reserve(static_cast<std::size_t>(n));
@@ -22,12 +28,12 @@ std::vector<int> MiniDfs::place_replicas(int writer_worker) {
   if (writer_worker >= 0 && writer_worker < num_workers_) {
     replicas.push_back(writer_worker);
   } else {
-    replicas.push_back(static_cast<int>(rng_.uniform(
+    replicas.push_back(static_cast<int>(rng.uniform(
         static_cast<uint64_t>(num_workers_))));
   }
   while (static_cast<int>(replicas.size()) < n) {
     int w = static_cast<int>(
-        rng_.uniform(static_cast<uint64_t>(num_workers_)));
+        rng.uniform(static_cast<uint64_t>(num_workers_)));
     if (std::find(replicas.begin(), replicas.end(), w) == replicas.end()) {
       replicas.push_back(w);
     }
@@ -51,6 +57,10 @@ void MiniDfs::write_file(const std::string& path, KVVec records,
   f.bytes = wire_size(records);
   f.records = std::move(records);
 
+  // Per-file placement stream: derived from (seed, path) so the draw order
+  // does not depend on which concurrent writer reached mu_ first.
+  Rng place_rng(seed_ ^ fnv1a(path));
+
   // Chunk into blocks by cumulative wire size.
   std::size_t block_begin = 0;
   std::size_t block_bytes = 0;
@@ -62,7 +72,7 @@ void MiniDfs::write_file(const std::string& path, KVVec records,
       b.begin = block_begin;
       b.end = i + 1;
       b.bytes = block_bytes;
-      b.replicas = place_replicas(writer_worker);
+      b.replicas = place_replicas(writer_worker, place_rng);
       f.blocks.push_back(std::move(b));
       block_begin = i + 1;
       block_bytes = 0;
@@ -70,7 +80,7 @@ void MiniDfs::write_file(const std::string& path, KVVec records,
   }
   if (f.records.empty()) {
     Block b;
-    b.replicas = place_replicas(writer_worker);
+    b.replicas = place_replicas(writer_worker, place_rng);
     f.blocks.push_back(std::move(b));
   }
 
@@ -86,6 +96,23 @@ void MiniDfs::write_file(const std::string& path, KVVec records,
   if (copies > 0) {
     metrics_.add_traffic(category, f.bytes * static_cast<std::size_t>(copies),
                          /*remote=*/true);
+  }
+  // Telemetry mirror of the two charges above, byte-for-byte: the local
+  // part on the writer's diagonal cell (one message, like the registry's
+  // one transfer), and the replication copies attributed to the FIRST
+  // block's tail replicas — a placement approximation (later blocks may
+  // place elsewhere) that preserves the per-category byte/remote/message
+  // conservation sums exactly. The registry counts the whole copies-sized
+  // charge as ONE transfer, so only the first remote cell gets a message.
+  if (telemetry_ != nullptr && TelemetryRecorder::enabled()) {
+    telemetry_->add_dfs(writer_worker, writer_worker, category,
+                        static_cast<int64_t>(f.bytes), /*count_msg=*/true);
+    const std::vector<int>& reps = f.blocks.front().replicas;
+    for (int n = 1; n <= copies && n < static_cast<int>(reps.size()); ++n) {
+      telemetry_->add_dfs(writer_worker, reps[static_cast<std::size_t>(n)],
+                          category, static_cast<int64_t>(f.bytes),
+                          /*count_msg=*/n == 1);
+    }
   }
 
   files_[path] = std::move(f);
@@ -108,6 +135,12 @@ void MiniDfs::charge_read_block(const Block& b, std::size_t bytes, int reader,
     metrics_.add_time(TimeCategory::kDfsIo, d);
   }
   metrics_.add_traffic(category, bytes, /*remote=*/!local);
+  // Telemetry mirror: a local read stays on the reader's diagonal; a remote
+  // read is attributed to the block's primary replica as the source.
+  if (telemetry_ != nullptr && TelemetryRecorder::enabled()) {
+    telemetry_->add_dfs(local ? reader : b.replicas.front(), reader, category,
+                        static_cast<int64_t>(bytes), /*count_msg=*/true);
+  }
 }
 
 KVVec MiniDfs::read_all(const std::string& path, int reader_worker, VClock* vt,

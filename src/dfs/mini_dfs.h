@@ -27,6 +27,8 @@
 
 namespace imr {
 
+class TelemetryLedger;
+
 // A contiguous range of records of one file, plus the workers that hold all
 // of its blocks locally (empty when no single worker holds all of them).
 struct InputSplit {
@@ -39,8 +41,10 @@ struct InputSplit {
 
 class MiniDfs {
  public:
+  // `telemetry` (optional) mirrors every traffic charge into the cluster's
+  // telemetry matrix while the TelemetryRecorder gate is armed.
   MiniDfs(int num_workers, const CostModel& cost, MetricsRegistry& metrics,
-          uint64_t seed = 17);
+          uint64_t seed = 17, TelemetryLedger* telemetry = nullptr);
 
   MiniDfs(const MiniDfs&) = delete;
   MiniDfs& operator=(const MiniDfs&) = delete;
@@ -98,16 +102,22 @@ class MiniDfs {
   };
 
   const File& get_file_locked(const std::string& path) const;
-  std::vector<int> place_replicas(int writer_worker);
+  std::vector<int> place_replicas(int writer_worker, Rng& rng);
   void charge_read_block(const Block& b, std::size_t bytes, int reader,
                          VClock* vt, TrafficCategory category) const;
 
   int num_workers_;
   const CostModel& cost_;
   MetricsRegistry& metrics_;
+  TelemetryLedger* telemetry_;  // may be null; gated per charge
   mutable std::mutex mu_;
   std::map<std::string, File> files_;
-  Rng rng_;
+  // Placement draws come from a per-file Rng seeded by (seed_, path), not a
+  // shared stream: concurrent writers would otherwise consume a shared
+  // stream in thread-arrival order, making replica placement — and every
+  // locality-dependent virtual-time cost downstream of it — depend on real
+  // scheduling. Per-file derivation keeps same-seed runs bit-reproducible.
+  uint64_t seed_;
 };
 
 }  // namespace imr

@@ -17,6 +17,7 @@ Bytes CtlMsg::encode() const {
   encode_i64(workset_size, b);
   encode_i64(state_records, b);
   encode_u32(static_cast<uint32_t>(session), b);
+  encode_i64(state_bytes, b);
   return b;
 }
 
@@ -34,6 +35,7 @@ CtlMsg CtlMsg::decode(const Bytes& b) {
   m.workset_size = decode_i64(b, pos);
   m.state_records = decode_i64(b, pos);
   m.session = static_cast<int32_t>(decode_u32(b, pos));
+  m.state_bytes = decode_i64(b, pos);
   return m;
 }
 

@@ -53,6 +53,9 @@ struct CtlMsg {
   // quiesce/resume handshakes the same way `generation` guards rollbacks: a
   // straggling ack from a previous epoch is ignored.
   int32_t session = 0;  // kConvergedCkpt, kCkptAck, kDelta, kDeltaAck, kResume
+  // Resident-state byte estimate of the task's partition (sum of key+value
+  // sizes), carried on reports while telemetry is enabled; 0 otherwise.
+  int64_t state_bytes = 0;  // kReport
 
   Bytes encode() const;
   static CtlMsg decode(const Bytes& b);

@@ -16,12 +16,11 @@
 #include "imapreduce/control.h"
 #include "imapreduce/static_store.h"
 #include "mapreduce/shuffle_util.h"
+#include "metrics/telemetry.h"
 
 namespace imr {
 
 namespace {
-
-std::atomic<uint64_t> g_iterjob_counter{0};
 
 // Map-side emitter: partitions emit() across the phase's reduce tasks and
 // side() across the auxiliary map tasks (dropped when no aux phase).
@@ -34,8 +33,19 @@ class TaskEmitter : public IterEmitter {
 
   void emit(Bytes key, Bytes value) override {
     uint32_t p = partition_of(key, static_cast<uint32_t>(buffers_.size()));
+    if (sketch_ != nullptr) {
+      sketch_->offer(key);
+      (*partition_counts_)[p] += 1;
+    }
     buffers_[p].emplace_back(std::move(key), std::move(value));
     ++emitted_;
+  }
+
+  // Telemetry hot-key profiling: every emitted key feeds the sketch and the
+  // exact per-partition counts. Null (the default) keeps emit() probe-free.
+  void set_profile(SpaceSaving* sketch, std::vector<int64_t>* counts) {
+    sketch_ = sketch;
+    partition_counts_ = counts;
   }
 
   void side(Bytes key, Bytes value) override {
@@ -57,6 +67,8 @@ class TaskEmitter : public IterEmitter {
   std::vector<KVVec> buffers_;
   std::vector<KVVec> aux_buffers_;
   int64_t emitted_ = 0;
+  SpaceSaving* sketch_ = nullptr;
+  std::vector<int64_t>* partition_counts_ = nullptr;
 };
 
 // Reduce-side emitter: plain collection; side() feeds nothing here (the
@@ -151,7 +163,9 @@ class JobRun {
       : cluster_(cluster),
         conf_(conf),
         cost_(cluster.cost()),
-        tag_(conf.name + "#" + std::to_string(g_iterjob_counter.fetch_add(1))),
+        // Job ordinal is per-cluster so a fresh cluster replays the same DFS
+        // paths (placement is path-derived; see Cluster::next_job_ordinal).
+        tag_(conf.name + "#" + std::to_string(cluster.next_job_ordinal())),
         P_(static_cast<int>(conf.phases.size())),
         T_(conf.num_tasks > 0 ? conf.num_tasks : default_tasks()),
         session_mode_(session_mode) {}
@@ -523,6 +537,12 @@ class JobRun {
   RunReport report_;
   int64_t final_vt_ = 0;
   RunReport last_report_;
+  // Telemetry iteration records (master thread only); truncated beside
+  // report_.iterations on rollback, joined with the ledger at finish().
+  std::vector<IterTelemetry> telemetry_iters_;
+  // Registry snapshot at the current epoch's start; epoch_report subtracts
+  // it so each epoch's byte/time totals cover that epoch alone.
+  RunReport epoch_base_report_;
 
   // --- master protocol state. Owned by the master thread; hoisted out of
   // master_loop so a session can leave the loop at quiesce and re-enter it
@@ -532,6 +552,15 @@ class JobRun {
     double distance = 0;
     int64_t workset = 0;  // summed changed-record counts (workset mode)
     std::map<int, int64_t> worker_dur;  // worker -> max duration
+    // Telemetry (populated only while the recorder gate is armed): exact
+    // per-task durations/resident-state bytes, and the straggler — the
+    // report that arrived LAST in virtual time (ties: smaller task id).
+    std::map<int, int64_t> task_dur;
+    std::map<int, int64_t> task_state_bytes;
+    int straggler_task = -1;
+    int straggler_worker = -1;
+    int64_t straggler_vt = -1;
+    int64_t straggler_dur = 0;
   };
   std::map<int, PendingIter> pending_;  // iteration -> reports (current gen)
   int generation_ = 0;
@@ -623,6 +652,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
     KVVec static_data = cluster_.dfs().read_partition(
         ph.static_path, static_cast<uint32_t>(i), static_cast<uint32_t>(T_),
         ctx.worker(), &ctx.vt());
+    if (TelemetryRecorder::enabled()) {
+      cluster_.telemetry().record_static_bytes(
+          i, static_cast<int64_t>(wire_size(static_data)));
+    }
     TraceSpan index_span("join_index_build", ctx.vt(), start_iter, gen);
     ThreadCpuTimer index_cpu;
     sort_records(static_data, /*sort_values=*/false);
@@ -658,6 +691,33 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   }
 
   TaskEmitter emitter(T_, num_aux);
+
+  // Telemetry hot-key profile of this task's shuffle output: a SpaceSaving
+  // sketch plus exact per-partition emit counts, handed to the cluster
+  // ledger on EVERY exit path (the guard covers injected-crash returns and
+  // error unwinds alike). The ledger keeps the highest-generation push per
+  // task, so a respawned task supersedes the zombie it replaced.
+  const bool profiled = is_phase0 && TelemetryRecorder::enabled();
+  SpaceSaving sketch;
+  std::vector<int64_t> partition_counts;
+  if (profiled) {
+    partition_counts.assign(static_cast<std::size_t>(T_), 0);
+    emitter.set_profile(&sketch, &partition_counts);
+  }
+  struct ProfileGuard {
+    JobRun& run;
+    bool armed;
+    int task;
+    const int& gen;
+    SpaceSaving& sketch;
+    std::vector<int64_t>& counts;
+    ~ProfileGuard() {
+      if (!armed) return;
+      run.cluster_.telemetry().record_task_profile(task, gen,
+                                                   std::move(sketch),
+                                                   std::move(counts));
+    }
+  } profile_guard{*this, profiled, i, gen, sketch, partition_counts};
 
   static const Bytes kEmpty;
 
@@ -797,6 +857,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   while (true) {
     TraceSpan iter_span(workset ? "map_iter_frontier" : "map_iter", ctx.vt(),
                         k, gen);
+    const int64_t iter_start_vt_ns = ctx.vt().now_ns();
     // Injection point: died while working on iteration k, before its shuffle
     // output exists.
     if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidMap, k,
@@ -814,6 +875,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       }
       pending = KVVec{};
       if (finish_iteration(k)) return;
+      if (profiled) {
+        cluster_.telemetry().record_map_iter(
+            i, gen, k, ctx.vt().now_ns() - iter_start_vt_ns);
+      }
       ++k;
       continue;
     }
@@ -967,6 +1032,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       }
     }
     if (finish_iteration(k)) return;
+    if (profiled) {
+      cluster_.telemetry().record_map_iter(
+          i, gen, k, ctx.vt().now_ns() - iter_start_vt_ns);
+    }
     IMR_DEBUG << tag_ << ": map " << p << "/" << i << " finished iter " << k
               << " gen " << gen;
     ++k;
@@ -1448,6 +1517,13 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
       report.distance = local_distance;
       report.duration_ns = ctx.vt().now_ns() - prev_end_vt;
       report.workset_size = workset ? changed_count : 0;
+      if (TelemetryRecorder::enabled()) {
+        int64_t sb = 0;
+        for (const auto& [key, value] : state_map) {
+          sb += static_cast<int64_t>(key.size() + value.size());
+        }
+        report.state_bytes = sb;
+      }
       task_send_ctl(ctx, report);
     }
     prev_end_vt = ctx.vt().now_ns();
@@ -1756,6 +1832,10 @@ void JobRun::master_loop() {
            report_.iterations.back().iteration > ckpt_iter) {
       report_.iterations.pop_back();
     }
+    while (!telemetry_iters_.empty() &&
+           telemetry_iters_.back().iteration > ckpt_iter) {
+      telemetry_iters_.pop_back();
+    }
     report_.rollback_iterations.push_back(ckpt_iter);
   };
 
@@ -1859,6 +1939,20 @@ void JobRun::master_loop() {
         pi.workset += ctl.workset_size;
         int64_t& dur = pi.worker_dur[ctl.worker];
         dur = std::max(dur, ctl.duration_ns);
+        if (TelemetryRecorder::enabled()) {
+          int64_t& td = pi.task_dur[ctl.task];
+          td = std::max(td, ctl.duration_ns);
+          pi.task_state_bytes[ctl.task] = ctl.state_bytes;
+          const int64_t vr = msg->vt_ready;
+          if (vr > pi.straggler_vt ||
+              (vr == pi.straggler_vt &&
+               (pi.straggler_task == -1 || ctl.task < pi.straggler_task))) {
+            pi.straggler_vt = vr;
+            pi.straggler_task = ctl.task;
+            pi.straggler_worker = ctl.worker;
+            pi.straggler_dur = ctl.duration_ns;
+          }
+        }
         if (ctl.iteration != decided + 1 || pi.reports < T_) break;
 
         // --- decision for iteration `decided + 1` ---
@@ -1880,6 +1974,30 @@ void JobRun::master_loop() {
           iter_hist.record(static_cast<int64_t>(
               (st.wall_ms_end - last_decided_wall_ms) * 1000.0));
           last_decided_wall_ms = st.wall_ms_end;
+        }
+        if (TelemetryRecorder::enabled()) {
+          // Master-side slice of the iteration record; the ledger's fabric
+          // buckets (bytes, msgs, queue HWM, map durations) join in at
+          // finish(), once the task threads are quiescent.
+          IterTelemetry it;
+          it.iteration = decided;
+          it.generation = generation;
+          it.session = session_id_;
+          it.vt_ms = mvt.now_ms();
+          it.distance = done_iter.distance;
+          if (conf_.workset_mode) it.workset = done_iter.workset;
+          int64_t max_dur = 0;
+          for (const auto& [t, ns] : done_iter.task_dur) {
+            it.task_ms[t] = static_cast<double>(ns) / 1e6;
+            max_dur = std::max(max_dur, ns);
+          }
+          it.reduce_ms = static_cast<double>(max_dur) / 1e6;
+          it.state_bytes = done_iter.task_state_bytes;
+          it.straggler_task = done_iter.straggler_task;
+          it.straggler_worker = done_iter.straggler_worker;
+          it.straggler_ms =
+              static_cast<double>(done_iter.straggler_dur) / 1e6;
+          telemetry_iters_.push_back(std::move(it));
         }
         TraceRecorder::instance().instant("iteration_decided", mvt.now_ns(),
                                           decided, generation);
@@ -2067,6 +2185,7 @@ void JobRun::start() {
   // One-time job initialization (§3.1).
   // The master thread's trace timeline for this job; the "job" span brackets
   // everything from init to the post-join report.
+  if (TelemetryRecorder::enabled()) cluster_.telemetry().begin_run();
   traced_ = TraceRecorder::enabled();
   if (traced_) {
     prev_track_ =
@@ -2145,6 +2264,26 @@ RunReport JobRun::finish() {
   report_.iterations_run =
       report_.iterations.empty() ? 0 : report_.iterations.back().iteration;
   report_.capture(cluster_.metrics());
+  if (TelemetryRecorder::enabled()) {
+    // Assemble the run's telemetry record now that every task thread is
+    // joined: the ledger's buckets are quiescent, so the join is race-free.
+    TelemetryLedger& led = cluster_.telemetry();
+    RunTelemetry rt;
+    rt.job = conf_.name;
+    rt.workers = cluster_.num_workers();
+    rt.tasks = T_;
+    rt.iterations_run = report_.iterations_run;
+    rt.converged = report_.converged;
+    rt.session_epochs = session_id_;
+    for (IterTelemetry& it : telemetry_iters_) led.fill_iter(it);
+    rt.iters = std::move(telemetry_iters_);
+    rt.matrix = led.snapshot_matrix();
+    led.collect_profiles(&rt.hot_keys, &rt.hot_key_samples,
+                         &rt.partition_records, &rt.skew);
+    rt.static_bytes_per_task = led.static_bytes_per_task();
+    for (int64_t b : rt.static_bytes_per_task) rt.static_bytes += b;
+    TelemetryRecorder::instance().append(std::move(rt));
+  }
   if (job_span_) job_span_->end();
   if (traced_) TraceRecorder::instance().set_thread_track(prev_track_);
   return report_;
@@ -2171,11 +2310,21 @@ RunReport JobRun::epoch_report(const std::string& label) {
       report_.iterations.end());
   r.iterations_run =
       r.iterations.empty() ? 0 : r.iterations.back().iteration - epoch_base_;
+  // Delta against the epoch-start snapshot: the cluster's registry is
+  // cumulative, so the subtraction scopes the byte/time totals to this
+  // epoch. The same snapshot that ends this window becomes the next
+  // window's base — one registry read per boundary, so consecutive epochs
+  // tile with no gap that a concurrently landing charge (a parked map's
+  // last async send) could fall into.
   r.capture(cluster_.metrics());
+  RunReport window_end = r;
+  r.subtract(epoch_base_report_);
+  epoch_base_report_ = std::move(window_end);
   return r;
 }
 
 RunReport JobRun::converge() {
+  epoch_base_report_.capture(cluster_.metrics());
   start();
   epoch_start_ms_ = 0;
   epoch_first_stat_ = 0;
@@ -2194,6 +2343,9 @@ RunReport JobRun::apply_update(const StaticDelta& delta) {
   IMR_CHECK_MSG(started_ && !closed_, "apply_update on a closed session");
   IMR_CHECK_MSG(quiesced_, "apply_update before the session quiesced");
   epoch_start_ms_ = mvt_.now_ms();
+  // The epoch base was advanced by the previous epoch_report(): this window
+  // opens exactly where that one closed, so the delta-routing sends below
+  // and anything a parked task charged since quiesce land in THIS window.
   const int new_session = session_id_ + 1;
   TraceSpan update_span("session_update", mvt_, new_session, generation_);
 

@@ -14,8 +14,6 @@ namespace imr {
 
 namespace {
 
-std::atomic<uint64_t> g_job_counter{0};
-
 // Map-side emitter: partitions output by key hash into one buffer per
 // reduce task.
 class PartitionedEmitter : public Emitter {
@@ -87,7 +85,9 @@ JobResult MapReduceEngine::run_job(const JobConf& conf, int64_t submit_vt_ns) {
   if (!conf.reducer) throw ConfigError("job has no reducer");
   if (conf.output_path.empty()) throw ConfigError("job has no output path");
 
-  const uint64_t job_id = g_job_counter.fetch_add(1);
+  // Per-cluster ordinal: same job on a fresh cluster replays the same DFS
+  // paths, keeping path-derived replica placement reproducible.
+  const uint64_t job_id = cluster_.next_job_ordinal();
   const std::string job_tag = conf.name + "#" + std::to_string(job_id);
   MiniDfs& dfs = cluster_.dfs();
   const CostModel& cost = cluster_.cost();

@@ -194,6 +194,37 @@ std::vector<std::string> InvariantChecker::check(
     }
   }
 
+  // 10. Telemetry conservation: the traffic matrix mirrors every registry
+  // charge, so per category its cell sums must reproduce the Fig-11 totals
+  // exactly — bytes, off-diagonal (remote) bytes, and message counts.
+  if (has_matrix_) {
+    for (int cat = 0; cat < kNumTrafficCategories; ++cat) {
+      auto c = static_cast<TrafficCategory>(cat);
+      int64_t m_bytes = matrix_.category_bytes(c);
+      int64_t m_remote = matrix_.category_remote_bytes(c);
+      int64_t m_msgs = matrix_.category_msgs(c);
+      if (m_bytes != metrics_.traffic_bytes(c)) {
+        fail(strprintf("telemetry matrix[%s]: %lld bytes != registry %lld",
+                       traffic_category_name(c),
+                       static_cast<long long>(m_bytes),
+                       static_cast<long long>(metrics_.traffic_bytes(c))));
+      }
+      if (m_remote != metrics_.traffic_remote_bytes(c)) {
+        fail(strprintf(
+            "telemetry matrix[%s]: %lld remote bytes != registry %lld",
+            traffic_category_name(c), static_cast<long long>(m_remote),
+            static_cast<long long>(metrics_.traffic_remote_bytes(c))));
+      }
+      if (m_msgs != metrics_.traffic_transfers(c)) {
+        fail(strprintf("telemetry matrix[%s]: %lld messages != registry "
+                       "%lld transfers",
+                       traffic_category_name(c),
+                       static_cast<long long>(m_msgs),
+                       static_cast<long long>(metrics_.traffic_transfers(c))));
+      }
+    }
+  }
+
   return violations;
 }
 

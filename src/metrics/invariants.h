@@ -41,7 +41,12 @@
 //      iterations before quiescing);
 //   9. delta conservation    — every static-delta op the session master
 //      routed was applied by exactly one map task (job sessions mutate the
-//      static stores exactly once per op, no loss, no double-apply).
+//      static stores exactly once per op, no loss, no double-apply);
+//  10. telemetry conservation — when a traffic-matrix snapshot is attached,
+//      its per-category cell sums equal the registry's Fig-11 totals
+//      exactly: bytes, off-diagonal (remote) bytes, and message counts all
+//      balance, so the placement-advice matrix never invents or loses a
+//      byte relative to the audited counters.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +54,7 @@
 #include <vector>
 
 #include "metrics/metrics.h"
+#include "metrics/telemetry.h"
 
 namespace imr {
 
@@ -101,6 +107,13 @@ class InvariantChecker {
     report_ = &report;
     return *this;
   }
+  // Attach a telemetry traffic-matrix snapshot (stored by value — snapshots
+  // are plain data) and arm invariant 10 against the same registry.
+  InvariantChecker& with_traffic_matrix(TrafficMatrixSnapshot matrix) {
+    matrix_ = std::move(matrix);
+    has_matrix_ = true;
+    return *this;
+  }
 
   // Returns one human-readable line per violated invariant; empty = clean.
   std::vector<std::string> check(
@@ -111,6 +124,8 @@ class InvariantChecker {
   ChannelStats channel_;
   bool has_channel_ = false;
   const RunReport* report_ = nullptr;
+  TrafficMatrixSnapshot matrix_;
+  bool has_matrix_ = false;
 };
 
 }  // namespace imr

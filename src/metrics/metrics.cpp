@@ -75,14 +75,23 @@ double Histogram::percentile(double p) const {
   if (target < 1) target = 1;
   int64_t cum = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    cum += counts[b];
-    if (cum >= target) {
+    if (counts[b] == 0) continue;
+    if (cum + counts[b] >= target) {
       if (b == 0) return 0;
-      // Midpoint of [2^(b-1), 2^b).
-      return 1.5 * static_cast<double>(bucket_lower(b));
+      // Linear interpolation within [2^(b-1), 2^b): the bucket's samples are
+      // taken as evenly spread, sample j of n sitting at fraction
+      // (j - 0.5) / n of the bucket width. A single-sample bucket therefore
+      // reports the midpoint; multi-sample buckets spread across the range.
+      double lower = static_cast<double>(bucket_lower(b));
+      double upper = 2.0 * lower;
+      double frac = (static_cast<double>(target - cum) - 0.5) /
+                    static_cast<double>(counts[b]);
+      if (frac < 0) frac = 0;
+      return lower + (upper - lower) * frac;
     }
+    cum += counts[b];
   }
-  return 1.5 * static_cast<double>(bucket_lower(kNumBuckets - 1));
+  return 2.0 * static_cast<double>(bucket_lower(kNumBuckets - 1));
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -240,6 +249,31 @@ void RunReport::capture(const MetricsRegistry& m) {
   task_init_time = m.time(TimeCategory::kTaskInit);
   network_time = m.time(TimeCategory::kNetwork);
   dfs_time = m.time(TimeCategory::kDfsIo);
+}
+
+void RunReport::capture_delta(const MetricsRegistry& m, const RunReport& base) {
+  capture(m);
+  subtract(base);
+}
+
+void RunReport::subtract(const RunReport& base) {
+  total_comm_bytes -= base.total_comm_bytes;
+  shuffle_bytes -= base.shuffle_bytes;
+  reduce_to_map_bytes -= base.reduce_to_map_bytes;
+  broadcast_bytes -= base.broadcast_bytes;
+  checkpoint_bytes -= base.checkpoint_bytes;
+  control_bytes -= base.control_bytes;
+  dfs_read_bytes -= base.dfs_read_bytes;
+  dfs_write_bytes -= base.dfs_write_bytes;
+  shuffle_remote_bytes -= base.shuffle_remote_bytes;
+  reduce_to_map_remote_bytes -= base.reduce_to_map_remote_bytes;
+  broadcast_remote_bytes -= base.broadcast_remote_bytes;
+  checkpoint_remote_bytes -= base.checkpoint_remote_bytes;
+  control_remote_bytes -= base.control_remote_bytes;
+  job_init_time -= base.job_init_time;
+  task_init_time -= base.task_init_time;
+  network_time -= base.network_time;
+  dfs_time -= base.dfs_time;
 }
 
 }  // namespace imr

@@ -57,9 +57,9 @@ inline constexpr int kNumTimeCategories = 6;
 // nanoseconds, batch bytes, ...). record() is two relaxed atomic RMWs — no
 // mutex, no allocation — so it is safe on the fabric's send/receive hot
 // paths. Bucket b >= 1 covers [2^(b-1), 2^b); bucket 0 holds samples <= 0.
-// Percentiles come from a cumulative walk over the buckets, reporting the
-// bucket midpoint — exact to within a factor of ~1.5, which is what a
-// log-bucketed latency summary promises (see docs/OBSERVABILITY.md).
+// Percentiles come from a cumulative walk over the buckets with linear
+// interpolation inside the target bucket — exact for single-sample buckets
+// and within one bucket width otherwise (see docs/OBSERVABILITY.md).
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
@@ -238,6 +238,16 @@ struct RunReport {
 
   // Fill the byte/time totals from a registry.
   void capture(const MetricsRegistry& m);
+  // Fill the byte/time totals with the registry's counters MINUS `base`'s —
+  // the traffic attributable to one window (e.g. one session epoch) of a
+  // shared, cumulative registry. `base` must be a capture() of the same
+  // registry taken at the window's start.
+  void capture_delta(const MetricsRegistry& m, const RunReport& base);
+  // Subtract `base`'s byte/time totals from this report's (already-captured)
+  // totals in place. Lets a caller read the registry once and use the same
+  // snapshot both as a window's end and as the next window's base, so
+  // consecutive windows tile with no gap for concurrent charges to fall in.
+  void subtract(const RunReport& base);
 };
 
 }  // namespace imr

@@ -1,0 +1,322 @@
+// Telemetry — structured per-iteration runtime evidence on top of the
+// trace/metrics substrate.
+//
+// Three pieces, same cost discipline as TraceRecorder (one relaxed-atomic
+// branch per probe when disabled):
+//
+//  * TelemetryLedger — per-cluster accumulator the Fabric, MiniDfs, and
+//    engine feed while a run executes. It holds the worker x worker x
+//    TrafficCategory traffic matrix (lock-free striped counters mirroring
+//    every MetricsRegistry::add_traffic charge byte-for-byte, so the matrix
+//    row/column sums are invariant-checkable against the Fig-11 category
+//    totals), per-(generation, iteration) byte/message buckets keyed by the
+//    NetMessage tags, per-map-task iteration durations, hot-key sketches,
+//    and static-store size estimates.
+//
+//  * TelemetryRecorder — process-global sink mirroring TraceRecorder:
+//    armed by IMR_TELEMETRY (or enable()), gated by one relaxed atomic
+//    load, collecting one RunTelemetry per finished job and exporting them
+//    as JSONL. All values are virtual-time or byte counts — never wall
+//    time — so same-seed fault-free runs reproduce every byte, count, and
+//    sequence field bit-for-bit. The duration fields (vt_ms, map_ms,
+//    reduce_ms, task_ms, straggler) are the exception: per-flow network
+//    charging shares bandwidth among the flows concurrently in flight, so
+//    virtual durations track the real thread schedule.
+//
+//  * SpaceSaving — the classic top-k heavy-hitter sketch (Metwally et al.):
+//    capacity k, evicting the minimum-count entry whose count the newcomer
+//    inherits as `error`. Any key with true frequency > N/k is guaranteed
+//    present, and every reported count overestimates by at most its
+//    `error` (<= N/k). Merging sums counts and errors per key and
+//    re-truncates — the merged bound degrades to the sum of the parts'
+//    bounds, which imr_stat reports alongside the counts.
+//
+// The analyzer for the exported JSONL is tools/imr_stat; the schema is
+// documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "metrics/metrics.h"
+
+namespace imr {
+
+// ---------------------------------------------------------------------------
+// SpaceSaving top-k sketch
+// ---------------------------------------------------------------------------
+
+struct HotKey {
+  Bytes key;
+  int64_t count = 0;  // estimated frequency (overestimate)
+  int64_t error = 0;  // max overestimation inherited from evictions
+};
+
+class SpaceSaving {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit SpaceSaving(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void offer(const Bytes& key, int64_t by = 1);
+
+  // Commutative merge: union counts and errors per key, then keep the
+  // capacity largest (ties broken by error then key, so the result does not
+  // depend on merge order).
+  void merge(const SpaceSaving& other);
+
+  // Entries sorted by (count desc, error asc, key asc).
+  std::vector<HotKey> top() const;
+
+  int64_t total() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Counter {
+    int64_t count = 0;
+    int64_t error = 0;
+  };
+  void truncate();
+
+  std::size_t capacity_;
+  int64_t total_ = 0;
+  // Ordered map: the min-scan eviction breaks count ties by key order, so a
+  // deterministic offer sequence yields a deterministic sketch.
+  std::map<Bytes, Counter> counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Traffic matrix
+// ---------------------------------------------------------------------------
+
+struct TrafficCell {
+  int64_t bytes = 0;
+  int64_t msgs = 0;
+};
+
+// Plain (non-atomic) merged view of the matrix. Slot 0 is the master/driver
+// (worker -1); worker w maps to slot w + 1.
+class TrafficMatrixSnapshot {
+ public:
+  TrafficMatrixSnapshot() = default;
+  explicit TrafficMatrixSnapshot(int num_workers)
+      : workers_(num_workers),
+        cells_(static_cast<std::size_t>((num_workers + 1)) *
+               static_cast<std::size_t>(num_workers + 1) *
+               kNumTrafficCategories) {}
+
+  int workers() const { return workers_; }
+  int slots() const { return workers_ + 1; }
+
+  // `from` / `to` are worker ids; -1 addresses the master/driver slot.
+  const TrafficCell& cell(int from, int to, TrafficCategory c) const {
+    return cells_[index(from, to, c)];
+  }
+  TrafficCell& cell(int from, int to, TrafficCategory c) {
+    return cells_[index(from, to, c)];
+  }
+
+  // Conservation sums, comparable to the MetricsRegistry totals.
+  int64_t category_bytes(TrafficCategory c) const;
+  int64_t category_remote_bytes(TrafficCategory c) const;  // off-diagonal
+  int64_t category_msgs(TrafficCategory c) const;
+
+  std::size_t index(int from, int to, TrafficCategory c) const {
+    return (static_cast<std::size_t>(slot(from)) *
+                static_cast<std::size_t>(slots()) +
+            static_cast<std::size_t>(slot(to))) *
+               kNumTrafficCategories +
+           static_cast<std::size_t>(c);
+  }
+  int slot(int worker) const {
+    if (worker < 0 || worker >= workers_) return 0;
+    return worker + 1;
+  }
+
+ private:
+  int workers_ = 0;
+  std::vector<TrafficCell> cells_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-run records
+// ---------------------------------------------------------------------------
+
+struct IterTelemetry {
+  int iteration = 0;
+  int generation = 0;
+  int session = 0;
+  double vt_ms = 0;        // master virtual time at the decision
+  double distance = 0;
+  int64_t workset = -1;    // -1 = bulk run
+  double map_ms = 0;       // max per-task map-iteration virtual duration
+  double reduce_ms = 0;    // max per-task report duration
+  int straggler_task = -1;   // the report that closed the barrier last
+  int straggler_worker = -1;
+  double straggler_ms = 0;   // that task's report duration
+  std::map<int, double> task_ms;        // per-task report duration (ms)
+  std::map<int, int64_t> state_bytes;   // per-task resident state estimate
+  int64_t queue_hwm = 0;   // max messages any endpoint absorbed this iter
+  std::array<int64_t, kNumTrafficCategories> bytes{};  // fabric traffic
+  std::array<int64_t, kNumTrafficCategories> msgs{};
+};
+
+struct RunTelemetry {
+  std::string job;
+  int workers = 0;
+  int tasks = 0;
+  int iterations_run = 0;
+  bool converged = false;
+  int session_epochs = 0;          // final session id (0 = plain run)
+  int64_t static_bytes = 0;        // sum over tasks
+  std::vector<int64_t> static_bytes_per_task;
+  std::vector<int64_t> partition_records;  // exact per-partition emit counts
+  double skew = 0;                 // max / mean of partition_records
+  std::vector<HotKey> hot_keys;    // merged across map tasks
+  int64_t hot_key_samples = 0;     // N for the N/k error bound
+  TrafficMatrixSnapshot matrix;    // cumulative for the cluster
+  std::vector<IterTelemetry> iters;
+};
+
+// ---------------------------------------------------------------------------
+// TelemetryLedger — per-cluster accumulator
+// ---------------------------------------------------------------------------
+
+class TelemetryLedger {
+ public:
+  explicit TelemetryLedger(int num_workers);
+
+  // Fabric probe: mirrors the MetricsRegistry::add_traffic charge of one
+  // accounted send (zombie-suppressed sends never reach it). Buckets the
+  // bytes under the message's (generation, iteration) tag and counts the
+  // delivery against `endpoint_uid` for the queue high-water mark.
+  void add_send(int from_worker, int to_worker, TrafficCategory c,
+                int64_t bytes, int generation, int iteration,
+                uint32_t endpoint_uid);
+
+  // DFS probe: mirrors one MiniDfs add_traffic charge. `count_msg` matches
+  // the registry's one-transfer-per-add_traffic-call accounting.
+  void add_dfs(int from_worker, int to_worker, TrafficCategory c,
+               int64_t bytes, bool count_msg);
+
+  // Engine-side records. begin_run clears the per-run stores (buckets,
+  // durations, sketches, static sizes) but NOT the matrix — the matrix is
+  // cumulative like the registry, so conservation holds across multiple
+  // jobs on one cluster.
+  void begin_run();
+  void record_map_iter(int task, int generation, int iteration,
+                       int64_t duration_ns);
+  void record_static_bytes(int task, int64_t bytes);
+  // Pushed at task exit. A higher generation replaces the stored entry
+  // (the respawned task supersedes the zombie); the same generation merges
+  // (multi-phase tasks share an index); a lower generation is dropped.
+  void record_task_profile(int task, int generation, SpaceSaving sketch,
+                           std::vector<int64_t> partition_counts);
+
+  TrafficMatrixSnapshot snapshot_matrix() const;
+
+  // Joins the ledger's per-(generation, iteration) evidence into a master
+  // record: map_ms, queue_hwm, and the per-category byte/msg buckets.
+  // Callers must be quiescent (engine threads joined).
+  void fill_iter(IterTelemetry& t) const;
+
+  // Merged hot-key/partition profile. Sketches merge in task order;
+  // partition counts sum element-wise; skew = max/mean over partitions.
+  void collect_profiles(std::vector<HotKey>* hot_keys, int64_t* samples,
+                        std::vector<int64_t>* partition_records,
+                        double* skew) const;
+  std::vector<int64_t> static_bytes_per_task() const;
+
+  int num_workers() const { return workers_; }
+
+ private:
+  static constexpr int kStripes = 4;
+  static constexpr std::size_t kCells = kNumTrafficCategories;
+
+  struct MatrixStripe {
+    // 2 counters (bytes, msgs) per matrix cell.
+    std::vector<std::atomic<int64_t>> counters;
+  };
+
+  struct IterBucket {
+    std::array<int64_t, kNumTrafficCategories> bytes{};
+    std::array<int64_t, kNumTrafficCategories> msgs{};
+    std::map<uint32_t, int64_t> endpoint_msgs;
+    std::map<int, int64_t> map_dur_ns;  // task -> map-iter virtual duration
+  };
+
+  struct BucketShard {
+    mutable std::mutex mu;
+    std::map<uint64_t, IterBucket> buckets;  // (gen << 32) | iter
+  };
+
+  struct TaskProfile {
+    int generation = -1;
+    SpaceSaving sketch;
+    std::vector<int64_t> partition_counts;
+  };
+
+  static uint64_t bucket_key(int generation, int iteration) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(generation)) << 32) |
+           static_cast<uint32_t>(iteration);
+  }
+  std::size_t stripe_for_this_thread() const;
+  std::size_t matrix_index(int from, int to, TrafficCategory c) const;
+  BucketShard& shard_for_key(uint64_t key) const {
+    return bucket_shards_[key % kBucketShards];
+  }
+
+  int workers_;
+  int slots_;
+  std::array<MatrixStripe, kStripes> matrix_stripes_;
+
+  static constexpr std::size_t kBucketShards = 8;
+  mutable std::array<BucketShard, kBucketShards> bucket_shards_;
+
+  mutable std::mutex profile_mu_;
+  std::map<int, TaskProfile> profiles_;    // by task index
+  std::map<int, int64_t> static_bytes_;    // by task index
+};
+
+// ---------------------------------------------------------------------------
+// TelemetryRecorder — process-global sink
+// ---------------------------------------------------------------------------
+
+class TelemetryRecorder {
+ public:
+  static TelemetryRecorder& instance();
+
+  // The hot-path gate: one relaxed load, checked (after a null-pointer
+  // test) before any telemetry work on the fabric/DFS paths.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  void enable();
+  void disable();
+  void reset();  // drops recorded runs; does not change the gate
+
+  void append(RunTelemetry run);
+  std::vector<RunTelemetry> runs() const;
+
+  // One JSON object per line: every iteration record ({"type":"iter"})
+  // followed by the run summary ({"type":"run"}), per recorded run.
+  void export_jsonl(std::ostream& os) const;
+  bool export_to_file(const std::string& path) const;
+
+ private:
+  TelemetryRecorder() = default;
+
+  static std::atomic<bool> enabled_;  // seeded from IMR_TELEMETRY
+  mutable std::mutex mu_;
+  std::vector<RunTelemetry> runs_;
+};
+
+}  // namespace imr

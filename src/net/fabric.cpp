@@ -1,13 +1,15 @@
 #include "net/fabric.h"
 
 #include "common/error.h"
+#include "metrics/telemetry.h"
 
 namespace imr {
 
 std::shared_ptr<Endpoint> Fabric::create_endpoint(const std::string& name,
                                                   int home_worker) {
-  auto ep =
-      std::make_shared<Endpoint>(name, home_worker, ledger_, queue_wait_hist_);
+  auto ep = std::make_shared<Endpoint>(
+      name, home_worker, ledger_, queue_wait_hist_,
+      next_endpoint_uid_.fetch_add(1, std::memory_order_relaxed));
   std::lock_guard<std::mutex> lock(mu_);
   endpoints_[name] = ep;
   return ep;
@@ -117,6 +119,17 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
   vt.advance(ser);
   metrics_.add_time(TimeCategory::kNetwork, ser + latency);
   metrics_.add_traffic(category, bytes, /*remote=*/!local);
+
+  // Telemetry mirror of the add_traffic charge just made: the traffic
+  // matrix cell plus the message's (generation, iteration) bucket. Same
+  // cost discipline as the trace gate — a null-pointer test and one relaxed
+  // load when disabled. Placed before the queue push so rejected sends are
+  // mirrored exactly like the registry charges them.
+  if (telemetry_ != nullptr && TelemetryRecorder::enabled()) {
+    telemetry_->add_send(sender_worker, to.home_worker(), category,
+                         static_cast<int64_t>(bytes), msg.generation,
+                         msg.iteration, to.uid());
+  }
 
   // Stamp the flow id before the message is moved into the queue; the start
   // event is recorded only AFTER a successful push, so a rejected send never

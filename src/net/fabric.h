@@ -49,6 +49,8 @@
 
 namespace imr {
 
+class TelemetryLedger;
+
 // Seeded transient-fault model for every channel of a fabric.
 struct ChannelFaultConfig {
   double drop_rate = 0.0;  // per-attempt drop probability; 0 disables faults
@@ -163,9 +165,10 @@ class Endpoint {
  public:
   Endpoint(std::string name, int home_worker,
            std::shared_ptr<detail::ChannelLedger> ledger = nullptr,
-           Histogram* queue_wait_hist = nullptr)
+           Histogram* queue_wait_hist = nullptr, uint32_t uid = 0)
       : name_(std::move(name)),
         home_worker_(home_worker),
+        uid_(uid),
         ledger_(std::move(ledger)),
         queue_wait_hist_(queue_wait_hist) {}
 
@@ -179,6 +182,10 @@ class Endpoint {
 
   const std::string& name() const { return name_; }
   int home_worker() const { return home_worker_; }
+  // Fabric-assigned creation-order id (0 for endpoints built outside a
+  // fabric). Telemetry keys its per-endpoint delivery counts by it; creation
+  // order is deterministic, so the ids are stable across same-seed runs.
+  uint32_t uid() const { return uid_; }
 
   // Blocking receive; syncs `vt` to the message availability time.
   // Returns nullopt when the endpoint is closed and drained.
@@ -222,6 +229,7 @@ class Endpoint {
 
   std::string name_;
   const int home_worker_;
+  const uint32_t uid_ = 0;
   std::shared_ptr<detail::ChannelLedger> ledger_;
   Histogram* queue_wait_hist_;  // owned by the fabric's MetricsRegistry
   BlockingQueue<NetMessage> queue_;
@@ -229,9 +237,14 @@ class Endpoint {
 
 class Fabric {
  public:
-  Fabric(const CostModel& cost, MetricsRegistry& metrics)
+  // `telemetry` (optional) receives a traffic-matrix / per-iteration mirror
+  // of every accounted send while the TelemetryRecorder gate is armed; the
+  // cluster wires its ledger in, direct constructions stay untelemetered.
+  Fabric(const CostModel& cost, MetricsRegistry& metrics,
+         TelemetryLedger* telemetry = nullptr)
       : cost_(cost),
         metrics_(metrics),
+        telemetry_(telemetry),
         ledger_(std::make_shared<detail::ChannelLedger>()),
         // Histogram references are stable for the registry's lifetime, so
         // the hot paths record through cached pointers, never the registry
@@ -289,6 +302,8 @@ class Fabric {
  private:
   const CostModel& cost_;
   MetricsRegistry& metrics_;
+  TelemetryLedger* telemetry_;  // may be null; gated per send
+  std::atomic<uint32_t> next_endpoint_uid_{1};
   std::function<bool(int)> liveness_;  // set before any concurrency
   std::shared_ptr<detail::ChannelLedger> ledger_;
   Histogram* batch_bytes_hist_;

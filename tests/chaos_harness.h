@@ -22,6 +22,7 @@
 #include "imapreduce/conf.h"
 #include "imapreduce/engine.h"
 #include "metrics/invariants.h"
+#include "metrics/telemetry.h"
 #include "metrics/trace.h"
 #include "net/fabric.h"
 
@@ -45,10 +46,16 @@ inline ChaosResult run_chaos_job(Cluster& cluster, const IterJobConf& conf,
   IterativeEngine engine(cluster);
   ChaosResult out;
   out.report = engine.run(conf);
-  out.violations = InvariantChecker(cluster.metrics())
-                       .with_channel_stats(cluster.fabric().channel_stats())
-                       .with_report(out.report)
-                       .check(expect);
+  InvariantChecker checker(cluster.metrics());
+  checker.with_channel_stats(cluster.fabric().channel_stats())
+      .with_report(out.report);
+  // With telemetry armed, the traffic matrix mirrors every registry charge
+  // through deaths, rollbacks, and migrations — reconcile it against the
+  // Fig-11 totals (invariant 10) on every chaos run.
+  if (TelemetryRecorder::enabled()) {
+    checker.with_traffic_matrix(cluster.telemetry().snapshot_matrix());
+  }
+  out.violations = checker.check(expect);
   cluster.fabric().set_channel_faults(ChannelFaultConfig{});
   // With IMR_TRACE=<prefix> set, every chaos run exports its own Perfetto
   // trace — "<prefix>.<conf>.<n>.json" — then clears the recorder so the
@@ -62,6 +69,17 @@ inline ChaosResult run_chaos_job(Cluster& cluster, const IterJobConf& conf,
                        std::to_string(trace_seq.fetch_add(1)) + ".json";
     TraceRecorder::instance().export_to_file(path);
     TraceRecorder::instance().reset();
+  }
+  // Same per-run export for telemetry: IMR_TELEMETRY=<prefix> writes
+  // "<prefix>.<conf>.<n>.jsonl" (feed it to imr_stat) and resets the
+  // recorder so each chaos run's JSONL stands alone.
+  if (const char* prefix = std::getenv("IMR_TELEMETRY");
+      prefix != nullptr && *prefix != '\0') {
+    static std::atomic<int> telemetry_seq{0};
+    std::string path = std::string(prefix) + "." + conf.name + "." +
+                       std::to_string(telemetry_seq.fetch_add(1)) + ".jsonl";
+    TelemetryRecorder::instance().export_to_file(path);
+    TelemetryRecorder::instance().reset();
   }
   return out;
 }

@@ -135,13 +135,17 @@ TEST(Histogram, CountMeanAndPercentiles) {
   for (int i = 0; i < 10; ++i) h.record(100000);
   EXPECT_EQ(h.count(), 100);
   EXPECT_DOUBLE_EQ(h.mean(), (90 * 1000.0 + 10 * 100000.0) / 100.0);
-  // Percentiles report the bucket midpoint: 1.5 * lower bound.
-  EXPECT_DOUBLE_EQ(h.percentile(50), 1.5 * 512);
-  EXPECT_DOUBLE_EQ(h.percentile(90), 1.5 * 512);
-  EXPECT_DOUBLE_EQ(h.percentile(99), 1.5 * 65536);
-  // Log-bucket accuracy promise: within ~1.5x of the true value.
-  EXPECT_GT(h.percentile(50), 1000.0 / 1.5);
-  EXPECT_LT(h.percentile(50), 1000.0 * 1.5);
+  // Percentiles interpolate linearly inside the target bucket: rank r of n
+  // bucket samples sits at fraction (r - 0.5) / n of [lower, 2*lower).
+  // p50 -> rank 50 of 90 in [512, 1024): 512 + 512 * 49.5 / 90.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 512 + 512 * 49.5 / 90);
+  // p90 -> rank 90 of 90 in [512, 1024): near the bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.percentile(90), 512 + 512 * 89.5 / 90);
+  // p99 -> rank 9 of the 10 samples in [65536, 131072).
+  EXPECT_DOUBLE_EQ(h.percentile(99), 65536 + 65536 * 8.5 / 10);
+  // Log-bucket accuracy promise: within one bucket width of the true value.
+  EXPECT_GT(h.percentile(50), 512.0);
+  EXPECT_LT(h.percentile(50), 1024.0);
 }
 
 TEST(Histogram, ZeroAndNegativeSamplesLandInBucketZero) {
@@ -160,7 +164,8 @@ TEST(Histogram, MergeAccumulatesAndResetClears) {
   a.merge(b);
   EXPECT_EQ(a.count(), 20);
   EXPECT_DOUBLE_EQ(a.mean(), (10 * 100.0 + 10 * 4000.0) / 20.0);
-  EXPECT_DOUBLE_EQ(a.percentile(99), 1.5 * 2048);
+  // p99 -> rank 19 of 20: the 9th of b's 10 samples in [2048, 4096).
+  EXPECT_DOUBLE_EQ(a.percentile(99), 2048 + 2048 * 8.5 / 10);
   a.reset();
   EXPECT_EQ(a.count(), 0);
   EXPECT_DOUBLE_EQ(a.mean(), 0.0);

@@ -32,6 +32,10 @@
 //   --report               dump the metrics report after the run
 //   --trace PATH           record a Chrome/Perfetto trace of the run(s) and
 //                          write it to PATH (or set IMR_TRACE=<path>)
+//   --telemetry PATH       record iteration telemetry (traffic matrix, hot
+//                          keys, stragglers) and write the JSONL to PATH
+//                          (or set IMR_TELEMETRY=<path>); analyze it with
+//                          tools/imr_stat
 //
 // Dataset flags: --graph <name> --scale <s> (graph algorithms),
 //   --points/--dim/--clusters (kmeans), --samples/--lr (logreg),
@@ -56,6 +60,7 @@
 #include "graph/generator.h"
 #include "imapreduce/engine.h"
 #include "mapreduce/iterative_driver.h"
+#include "metrics/telemetry.h"
 #include "metrics/trace.h"
 
 using namespace imr;
@@ -80,6 +85,7 @@ struct Options {
   uint64_t seed = 42;
   bool report = false;
   std::string trace;  // trace export path; empty = no tracing
+  std::string telemetry;  // telemetry JSONL export path; empty = disabled
   std::string update_batch;  // graph-edit script; empty = plain run
 };
 
@@ -108,6 +114,13 @@ Options parse_options(const Flags& flags) {
     // honor its value as the export path.
     const char* env = std::getenv("IMR_TRACE");
     if (env != nullptr) o.trace = env;
+  }
+  o.telemetry = flags.get("telemetry", "");
+  if (o.telemetry.empty()) {
+    // IMR_TELEMETRY=<path> arms telemetry at process start (see
+    // metrics/telemetry.h); honor its value as the export path.
+    const char* env = std::getenv("IMR_TELEMETRY");
+    if (env != nullptr) o.telemetry = env;
   }
   return o;
 }
@@ -262,6 +275,7 @@ int main(int argc, char** argv) {
   }
 
   if (!o.trace.empty()) TraceRecorder::instance().enable();
+  if (!o.telemetry.empty()) TelemetryRecorder::instance().enable();
 
   auto cluster = make_cluster(o);
   // An update session has no MapReduce counterpart — the baseline for
@@ -441,6 +455,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error: could not write trace to %s\n",
                    o.trace.c_str());
+      return 1;
+    }
+  }
+  if (!o.telemetry.empty()) {
+    if (TelemetryRecorder::instance().export_to_file(o.telemetry)) {
+      std::printf("telemetry written to %s (analyze with imr_stat)\n",
+                  o.telemetry.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write telemetry to %s\n",
+                   o.telemetry.c_str());
       return 1;
     }
   }
