@@ -3,6 +3,8 @@
 
 Usage: scripts/check_bench_regression.py bench_out.json \
            [--reference BENCH_substrate.json] [--tolerance 2.0]
+       scripts/check_bench_regression.py --placement placement_ab.json \
+           [--reference BENCH_substrate.json] [--tolerance 2.0]
 
 `bench_out.json` is google-benchmark's --benchmark_out JSON for a run of
 bench_micro_substrate covering the BM_FabricSendMT* series. The reference
@@ -17,6 +19,12 @@ one-relaxed-atomic-branch discipline eroding into real work) shows up the
 same way: the armed/disarmed ratio collapses toward 1 only if both paths do
 the work, so the disarmed baseline is additionally checked against the
 armed time of the SAME run (disarmed must stay strictly cheaper).
+
+--placement instead gates bench_placement_ab's remote-byte measurements:
+virtual-traffic byte counts are fully deterministic (no machine drift), so
+each algorithm's hash-over-bfs remote-byte ratio must stay at or above both
+the 2x acceptance floor and the reference ratio in the placement_ab series
+divided by --tolerance.
 """
 import argparse
 import json
@@ -72,21 +80,72 @@ def load_run(path: str) -> dict:
     return times
 
 
+PLACEMENT_FLOOR = 2.0  # ISSUE 9 acceptance: remote bytes drop >= 2x
+
+
+def check_placement(run_path: str, reference: dict, tolerance: float) -> int:
+    """Gate bench_placement_ab --json output against the placement_ab series."""
+    with open(run_path) as f:
+        run = json.load(f)
+    series = reference.get("placement_ab", {})
+    failures = []
+    for algo in ("pagerank", "sssp"):
+        point = run.get(algo)
+        if point is None:
+            failures.append(f"placement_ab/{algo}: missing from the bench run")
+            continue
+        ratio = float(point["ratio"])
+        ref = series.get(algo, {})
+        ref_ratio = float(ref.get("ratio", PLACEMENT_FLOOR))
+        limit = max(PLACEMENT_FLOOR, ref_ratio / tolerance)
+        verdict = "ok" if ratio >= limit else "REGRESSION"
+        print(
+            f"placement_ab/{algo}: hash/bfs remote bytes {ratio:.2f}x "
+            f"(reference {ref_ratio:.2f}x, floor {limit:.2f}x) {verdict}"
+        )
+        if ratio < limit:
+            failures.append(
+                f"placement_ab/{algo}: remote-byte drop {ratio:.2f}x fell "
+                f"below {limit:.2f}x"
+            )
+    if failures:
+        print("\nFAIL:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nall placement remote-byte ratios at or above their floors")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("bench_out", help="google-benchmark --benchmark_out JSON")
+    ap.add_argument(
+        "bench_out",
+        nargs="?",
+        help="google-benchmark --benchmark_out JSON (probe-overhead mode)",
+    )
+    ap.add_argument(
+        "--placement",
+        help="bench_placement_ab --json output to gate instead of the "
+        "probe-overhead series",
+    )
     ap.add_argument("--reference", default="BENCH_substrate.json")
     ap.add_argument(
         "--tolerance",
         type=float,
         default=2.0,
         help="armed/disarmed ratio may exceed the reference ratio by "
-        "at most this factor (default 2.0)",
+        "at most this factor (default 2.0); in --placement mode the "
+        "measured drop may fall below the reference by the same factor",
     )
     args = ap.parse_args()
 
     with open(args.reference) as f:
         reference = json.load(f)
+    if args.placement:
+        return check_placement(args.placement, reference, args.tolerance)
+    if not args.bench_out:
+        ap.error("either bench_out or --placement is required")
     run = load_run(args.bench_out)
 
     failures = []

@@ -79,6 +79,24 @@ struct CostModel {
     return m;
   }
 
+  // --- placement (DESIGN.md §9) ---
+  // Per-byte transfer cost in virtual ns. 0-bandwidth means free transfer,
+  // consistent with the fabric's transfer_time convention.
+  double net_ns_per_byte() const {
+    return net_bandwidth > 0 ? 1e9 / net_bandwidth : 0.0;
+  }
+  double local_ns_per_byte() const {
+    return local_bandwidth > 0 ? 1e9 / local_bandwidth : 0.0;
+  }
+  // What one byte saves by moving over memory instead of the wire. The
+  // placement planner co-locates high-affinity partitions only when this is
+  // positive; under CostModel::free() both paths cost nothing and placement
+  // falls back to round-robin, keeping logic-only tests' task layout stable.
+  double colocation_gain_ns_per_byte() const {
+    const double gain = net_ns_per_byte() - local_ns_per_byte();
+    return gain > 0 ? gain : 0.0;
+  }
+
   // All costs zero: logic-only unit tests.
   static CostModel free() {
     CostModel m;

@@ -1,0 +1,72 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace imr {
+
+std::vector<int> plan_placement(int num_partitions, int num_workers,
+                                const std::vector<int64_t>& affinity,
+                                const CostModel& cost) {
+  IMR_CHECK_MSG(num_partitions >= 1, "placement needs >= 1 partition");
+  IMR_CHECK_MSG(num_workers >= 1, "placement needs >= 1 worker");
+  std::vector<int> assignment(num_partitions);
+
+  const auto P = static_cast<std::size_t>(num_partitions);
+  const bool have_affinity = affinity.size() == P * P;
+  if (!have_affinity || cost.colocation_gain_ns_per_byte() <= 0) {
+    for (int p = 0; p < num_partitions; ++p) assignment[p] = p % num_workers;
+    return assignment;
+  }
+
+  // Same per-worker pair count as round-robin, so the slot checks the master
+  // already performed still hold for the grouped layout.
+  const int cap = (num_partitions + num_workers - 1) / num_workers;
+
+  // Place the partitions with the most total traffic first: they anchor the
+  // groups the cheaper partitions then join.
+  std::vector<int64_t> total(P, 0);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t q = 0; q < P; ++q) {
+      if (p == q) continue;
+      total[p] += affinity[p * P + q] + affinity[q * P + p];
+    }
+  }
+  std::vector<int> order(P);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return total[a] > total[b];  // ties keep index order (stable)
+  });
+
+  std::vector<int> load(num_workers, 0);
+  std::vector<std::vector<int>> on_worker(num_workers);
+  for (int p : order) {
+    int best = -1;
+    int64_t best_score = -1;
+    for (int w = 0; w < num_workers; ++w) {
+      if (load[w] >= cap) continue;
+      int64_t score = 0;
+      for (int q : on_worker[w]) {
+        score += affinity[static_cast<std::size_t>(p) * P + q] +
+                 affinity[static_cast<std::size_t>(q) * P + p];
+      }
+      // Strict > keeps ties on the lowest worker id; among zero-affinity
+      // candidates prefer the least-loaded worker so isolated partitions
+      // still spread out.
+      if (score > best_score ||
+          (score == best_score && best >= 0 && load[w] < load[best])) {
+        best = w;
+        best_score = score;
+      }
+    }
+    IMR_CHECK_MSG(best >= 0, "placement capacity exhausted");
+    assignment[p] = best;
+    load[best] += 1;
+    on_worker[best].push_back(p);
+  }
+  return assignment;
+}
+
+}  // namespace imr

@@ -1,0 +1,35 @@
+// Partition-aware task placement (DESIGN.md §9).
+//
+// The master assigns each persistent map/reduce pair a home worker. Without
+// partition affinity the assignment is round-robin; with a graph-aware
+// partitioner the affinity matrix (inter-partition edge counts) tells the
+// master which reduce partitions feed each other the most shuffle bytes, and
+// a greedy grouping co-locates them — subject to the same per-worker
+// capacity the round-robin layout respects, so slot accounting is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cost_model.h"
+
+namespace imr {
+
+// Returns pair_worker[p] for p in [0, num_partitions): the worker each
+// map/reduce pair is homed on.
+//
+// Round-robin (p % num_workers) when `affinity` is empty, or when the cost
+// model says co-location saves nothing (colocation_gain_ns_per_byte() == 0,
+// e.g. CostModel::free()). Otherwise: partitions in decreasing total-affinity
+// order each go to the worker — among those still under capacity
+// ceil(P / W) — with the highest affinity to the partitions already placed
+// there (ties: lowest worker id), so the layout is deterministic.
+//
+// `affinity` is the flattened P×P row-major matrix from
+// Partitioner::affinity(); both directions of a pair count, since shuffle
+// bytes flow both ways.
+std::vector<int> plan_placement(int num_partitions, int num_workers,
+                                const std::vector<int64_t>& affinity,
+                                const CostModel& cost);
+
+}  // namespace imr

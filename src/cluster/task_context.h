@@ -79,6 +79,13 @@ class TaskContext {
                  const NetMessage& msg, TrafficCategory category) {
     cluster_.fabric().broadcast(worker_, vt_, to, msg, category);
   }
+  // One wire transfer to many co-homed mailboxes (aggregated exchange,
+  // DESIGN.md §9): the first endpoint is charged the full payload, siblings
+  // pay framing only.
+  void send_coalesced(const std::vector<std::shared_ptr<Endpoint>>& to,
+                      const NetMessage& msg, TrafficCategory category) {
+    cluster_.fabric().send_coalesced(worker_, vt_, to, msg, category);
+  }
 
   // DFS helpers that charge against this task's clock.
   KVVec dfs_read_all(const std::string& path) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/error.h"
 
 namespace imr {
 
@@ -22,7 +23,11 @@ inline uint64_t fnv1a(BytesView data, uint64_t seed = 0xcbf29ce484222325ull) {
 }
 
 // The default partitioner used by both engines: hash-mod over key bytes.
+// Contract: num_partitions >= 1. A zero partition count is always a caller
+// bug (an unvalidated conf or an empty endpoint table), and modulo-by-zero
+// is UB — fail loudly instead.
 inline uint32_t partition_of(BytesView key, uint32_t num_partitions) {
+  IMR_CHECK_MSG(num_partitions > 0, "partition_of: num_partitions == 0");
   return static_cast<uint32_t>(fnv1a(key) % num_partitions);
 }
 

@@ -194,6 +194,28 @@ KVVec MiniDfs::read_partition(const std::string& path, uint32_t index,
   return out;
 }
 
+KVVec MiniDfs::read_partition(const std::string& path, uint32_t index,
+                              const PartitionFn& part, int reader_worker,
+                              VClock* vt, TrafficCategory category) const {
+  IMR_CHECK_MSG(static_cast<bool>(part), "read_partition: null partition fn");
+  TraceSpan read_span("dfs_read", vt);
+  std::lock_guard<std::mutex> lock(mu_);
+  const File& f = get_file_locked(path);
+  KVVec out;
+  for (const Block& b : f.blocks) {
+    std::size_t bytes = 0;
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      const KV& kv = f.records[i];
+      if (part(kv.key) == index) {
+        bytes += kv.wire_size();
+        out.push_back(kv);
+      }
+    }
+    if (bytes > 0) charge_read_block(b, bytes, reader_worker, vt, category);
+  }
+  return out;
+}
+
 std::vector<InputSplit> MiniDfs::make_splits(const std::string& path,
                                              int desired_splits) const {
   IMR_CHECK(desired_splits > 0);

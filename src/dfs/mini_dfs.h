@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -71,6 +72,18 @@ class MiniDfs {
   // graph partitioning and graph loading").
   KVVec read_partition(const std::string& path, uint32_t index,
                        uint32_t num_partitions, int reader_worker, VClock* vt,
+                       TrafficCategory category = TrafficCategory::kDfsRead) const;
+
+  // Key -> partition function for partitioner-aware loads. Kept as a
+  // std::function so the dfs layer does not depend on the graph library.
+  using PartitionFn = std::function<uint32_t(BytesView)>;
+
+  // Same as read_partition, but membership comes from `part` (the job's
+  // configured partitioner) instead of the flat hash — static/state loading
+  // must agree with the shuffle's routing or a key would live on one task
+  // and be updated on another (DESIGN.md §9).
+  KVVec read_partition(const std::string& path, uint32_t index,
+                       const PartitionFn& part, int reader_worker, VClock* vt,
                        TrafficCategory category = TrafficCategory::kDfsRead) const;
 
   // Splits a file into up to `desired_splits` block-aligned splits.

@@ -60,11 +60,88 @@ Graph generate_lognormal_graph(const LogNormalGraphSpec& spec) {
   return g;
 }
 
+Graph generate_grid_graph(const GridGraphSpec& spec) {
+  IMR_CHECK(spec.rows >= 2 && spec.cols >= 2);
+  Rng rng(spec.seed);
+  Graph g;
+  g.weighted = spec.weighted;
+  g.adj.resize(static_cast<std::size_t>(spec.rows) * spec.cols);
+  auto id = [&](uint32_t r, uint32_t c) { return r * spec.cols + c; };
+  for (uint32_t r = 0; r < spec.rows; ++r) {
+    for (uint32_t c = 0; c < spec.cols; ++c) {
+      auto& edges = g.adj[id(r, c)];
+      auto link = [&](uint32_t v) {
+        WEdge e;
+        e.dst = v;
+        e.weight = spec.weighted
+                       ? rng.log_normal(spec.weight_mu, spec.weight_sigma)
+                       : 1.0;
+        edges.push_back(e);
+      };
+      if (r > 0) link(id(r - 1, c));
+      if (c > 0) link(id(r, c - 1));
+      if (c + 1 < spec.cols) link(id(r, c + 1));
+      if (r + 1 < spec.rows) link(id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph generate_rmat_graph(const RmatGraphSpec& spec) {
+  IMR_CHECK(spec.num_nodes > 1);
+  Rng rng(spec.seed);
+  Graph g;
+  g.weighted = spec.weighted;
+  g.adj.resize(spec.num_nodes);
+
+  int levels = 0;
+  while ((1u << levels) < spec.num_nodes) ++levels;
+  const double ab = spec.a + spec.b;
+  const double abc = ab + spec.c;
+  const uint64_t target_edges =
+      static_cast<uint64_t>(spec.num_nodes) * spec.edges_per_node;
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    uint32_t u = 0, v = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.uniform_real(0.0, 1.0);
+      u <<= 1;
+      v <<= 1;
+      if (r >= ab) u |= 1;
+      if (r >= spec.a && (r < ab || r >= abc)) v |= 1;
+    }
+    // The recursion quadrants cover the next power of two; drop draws that
+    // land past the requested size, and self-loops.
+    if (u >= spec.num_nodes || v >= spec.num_nodes || u == v) continue;
+    WEdge e;
+    e.dst = v;
+    e.weight = spec.weighted ? rng.log_normal(0.4, 1.2) : 1.0;
+    g.adj[u].push_back(e);
+  }
+  for (auto& edges : g.adj) {
+    std::sort(edges.begin(), edges.end(),
+              [](const WEdge& a, const WEdge& b) { return a.dst < b.dst; });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const WEdge& a, const WEdge& b) {
+                              return a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+  return g;
+}
+
 namespace {
 
 uint32_t scaled(uint32_t published, double scale) {
   auto v = static_cast<uint32_t>(static_cast<double>(published) * scale);
   return std::max<uint32_t>(v, 64);
+}
+
+// Side length for the "grid" dataset: area scales linearly with `scale` so
+// the node count tracks the other datasets' scaling convention.
+uint32_t grid_side(uint32_t published_nodes, double scale) {
+  const auto nodes = static_cast<double>(scaled(published_nodes, scale));
+  return std::max<uint32_t>(8, static_cast<uint32_t>(std::lround(
+                                   std::sqrt(nodes))));
 }
 
 }  // namespace
@@ -91,6 +168,18 @@ Graph make_sssp_graph(const std::string& name, double scale, uint64_t seed) {
     spec.num_nodes = scaled(10000000, scale);
   } else if (name == "sssp-l") {
     spec.num_nodes = scaled(50000000, scale);
+  } else if (name == "grid") {
+    GridGraphSpec gs;
+    gs.rows = gs.cols = grid_side(65536, scale);
+    gs.weighted = true;
+    gs.seed = seed;
+    return generate_grid_graph(gs);
+  } else if (name == "rmat") {
+    RmatGraphSpec rs;
+    rs.num_nodes = scaled(262144, scale);
+    rs.weighted = true;
+    rs.seed = seed;
+    return generate_rmat_graph(rs);
   } else {
     throw ConfigError("unknown SSSP graph: " + name);
   }
@@ -118,6 +207,18 @@ Graph make_pagerank_graph(const std::string& name, double scale,
     spec.num_nodes = scaled(10000000, scale);
   } else if (name == "pagerank-l") {
     spec.num_nodes = scaled(30000000, scale);
+  } else if (name == "grid") {
+    GridGraphSpec gs;
+    gs.rows = gs.cols = grid_side(65536, scale);
+    gs.weighted = false;
+    gs.seed = seed;
+    return generate_grid_graph(gs);
+  } else if (name == "rmat") {
+    RmatGraphSpec rs;
+    rs.num_nodes = scaled(262144, scale);
+    rs.weighted = false;
+    rs.seed = seed;
+    return generate_rmat_graph(rs);
   } else {
     throw ConfigError("unknown PageRank graph: " + name);
   }

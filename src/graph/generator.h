@@ -32,6 +32,35 @@ struct LogNormalGraphSpec {
 // log-normal when `weighted`.
 Graph generate_lognormal_graph(const LogNormalGraphSpec& spec);
 
+// The log-normal synthetics have NO edge locality (targets are uniform over
+// the whole vertex range), which makes them useless for exercising a
+// locality-aware partitioner: every partitioning cuts ~all edges. The two
+// generators below produce graphs with real structure.
+
+// 2D lattice: vertex (r, c) -> id r*cols + c, edges to the 4 neighbors in
+// both directions. A contiguous region of k vertices has ~4*sqrt(k) cut
+// edges, so a BFS partitioning beats hash by the area/perimeter ratio.
+struct GridGraphSpec {
+  uint32_t rows = 64;
+  uint32_t cols = 64;
+  bool weighted = true;
+  double weight_mu = 0.4;
+  double weight_sigma = 1.2;
+  uint64_t seed = 42;
+};
+Graph generate_grid_graph(const GridGraphSpec& spec);
+
+// Recursive-matrix (R-MAT) power-law graph: skewed degrees with community
+// structure, the standard stressor for partition balance bounds.
+struct RmatGraphSpec {
+  uint32_t num_nodes = 1u << 12;  // quadrant recursion runs on the next pow2
+  uint32_t edges_per_node = 8;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool weighted = false;
+  uint64_t seed = 42;
+};
+Graph generate_rmat_graph(const RmatGraphSpec& spec);
+
 // The paper's SSSP data sets (Table 1), scaled by `scale` (1.0 = published
 // node counts). DBLP/Facebook stand-ins use the same generator with the
 // published node counts and average degrees.

@@ -1,0 +1,79 @@
+// Key-space partitioners for partition-aware placement (DESIGN.md §9).
+//
+// The flat hash partitioner spreads graph vertices uniformly, so nearly every
+// edge crosses a partition boundary and the iterative shuffle pays remote
+// bytes for all of it. A graph-aware partitioner groups adjacent vertices
+// into the same reduce partition; combined with the master's affinity-based
+// placement this turns most shuffle traffic into same-worker hand-offs.
+//
+// A partitioner is a PURE function of the key: the map-side shuffle, the
+// static/state partition loaders, and the session update router all consult
+// the same instance, so a stateful or time-varying answer would silently
+// split a key across reduce tasks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "graph/graph.h"
+
+namespace imr {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual const char* name() const = 0;
+  virtual uint32_t num_partitions() const = 0;
+
+  // Maps a wire key to its partition in [0, num_partitions()).
+  virtual uint32_t partition(BytesView key) const = 0;
+
+  // Inter-partition directed edge counts (flattened P×P, row-major), used by
+  // the master to co-locate the partitions that exchange the most data.
+  // Empty when the partitioner has no graph to measure (hash).
+  virtual const std::vector<int64_t>& affinity() const;
+};
+
+// Pass-through hash: identical to the engines' built-in partition_of.
+std::shared_ptr<const Partitioner> make_hash_partitioner(
+    uint32_t num_partitions);
+
+// Deterministic seeded BFS region grower (LDG-style greedy growth): regions
+// are grown one at a time to a capacity that splits the vertices within one
+// of each other, so max/mean partition size is bounded by 1 + P/n. The seed
+// only picks region start vertices; the same (graph, parts, seed) triple
+// always yields the same assignment.
+std::shared_ptr<const Partitioner> make_bfs_partitioner(const Graph& g,
+                                                        uint32_t num_partitions,
+                                                        uint64_t seed);
+
+// External assignment (e.g. METIS output re-numbered to this job's partition
+// count). Throws ConfigError when the assignment does not cover exactly the
+// graph's vertices or names a partition >= num_partitions.
+std::shared_ptr<const Partitioner> make_file_partitioner(
+    std::vector<uint32_t> assignment, const Graph& g, uint32_t num_partitions);
+
+// METIS-style partition file: line i holds the partition id of vertex i,
+// "#" starts a comment. Throws ConfigError when the file is missing,
+// unparseable, or covers a vertex range other than [0, num_vertices).
+std::vector<uint32_t> load_partition_file(const std::string& path,
+                                          uint32_t num_vertices);
+void write_partition_file(const std::string& path,
+                          const std::vector<uint32_t>& assignment);
+
+// --- diagnostics (tests, imr_stat-adjacent tooling, benches) ---
+
+// Directed edges whose endpoints land in different partitions.
+int64_t edge_cut(const Graph& g, const Partitioner& p);
+
+// Vertices per partition.
+std::vector<int64_t> partition_sizes(const Graph& g, const Partitioner& p);
+
+// max/mean of the non-empty size vector; >= 1, with 1 = perfectly balanced.
+double balance_factor(const std::vector<int64_t>& sizes);
+
+}  // namespace imr

@@ -3,12 +3,14 @@
 // chaining, and auxiliary phases).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "common/params.h"
+#include "graph/partition.h"
 #include "imapreduce/api.h"
 
 namespace imr {
@@ -100,6 +102,25 @@ struct IterJobConf {
 
   std::optional<AuxConf> aux;
 
+  // Partition-aware placement (DESIGN.md §9). null = the built-in flat hash
+  // (byte-for-byte the pre-partitioner behavior). When set, every component
+  // that routes a key — the map-side shuffle, the static/state partition
+  // loaders, session update routing — consults this instance, and the master
+  // co-locates partitions by its affinity matrix (see plan_placement). The
+  // partitioner's partition count must equal the job's task count.
+  std::shared_ptr<const Partitioner> partitioner;
+
+  // Aggregated cross-worker exchange (DESIGN.md §9): shuffle output destined
+  // for a REMOTE worker is held until the iteration barrier and flushed as
+  // one coalesced batch per destination worker (TrafficCategory::kShuffleAgg)
+  // instead of one message per reduce partition, and the frame doubles as
+  // the sending map's iteration-EOS for every reduce on that worker — the
+  // per-(map, reduce) EOS fan-out never crosses the wire. Local partitions
+  // stream exactly as before. Requires deterministic_reduce: the coalesced
+  // batches arrive at the barrier rather than interleaved, and only the
+  // sorted-reduce contract makes arrival order invisible to results.
+  bool aggregated_shuffle = false;
+
   Params params;
   bool deterministic_reduce = true;
 
@@ -136,6 +157,14 @@ struct IterJobConf {
       throw ConfigError("auxiliary phase missing mapper or reducer");
     }
     if (buffer_records < 1) throw ConfigError("buffer_records must be >= 1");
+    if (aggregated_shuffle && !deterministic_reduce) {
+      throw ConfigError(
+          "aggregated_shuffle needs deterministic_reduce: coalesced batches "
+          "change arrival order, and only the sorted reduce hides that");
+    }
+    if (partitioner && partitioner->num_partitions() == 0) {
+      throw ConfigError("partitioner has zero partitions");
+    }
   }
 };
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "cluster/placement.h"
 #include "cluster/task_context.h"
 #include "common/codec.h"
 #include "common/hash.h"
@@ -26,13 +27,20 @@ namespace {
 // side() across the auxiliary map tasks (dropped when no aux phase).
 class TaskEmitter : public IterEmitter {
  public:
-  TaskEmitter(int num_partitions, int num_aux_partitions)
+  // `part` (optional) overrides the flat hash for the main shuffle routing —
+  // the conf's partitioner (DESIGN.md §9). Aux side-output keys live in their
+  // own small key space and always hash.
+  TaskEmitter(int num_partitions, int num_aux_partitions,
+              const Partitioner* part = nullptr)
       : buffers_(static_cast<std::size_t>(num_partitions)),
         aux_buffers_(static_cast<std::size_t>(
-            std::max(0, num_aux_partitions))) {}
+            std::max(0, num_aux_partitions))),
+        part_(part) {}
 
   void emit(Bytes key, Bytes value) override {
-    uint32_t p = partition_of(key, static_cast<uint32_t>(buffers_.size()));
+    uint32_t p = part_ != nullptr
+                     ? part_->partition(key)
+                     : partition_of(key, static_cast<uint32_t>(buffers_.size()));
     if (sketch_ != nullptr) {
       sketch_->offer(key);
       (*partition_counts_)[p] += 1;
@@ -66,6 +74,7 @@ class TaskEmitter : public IterEmitter {
  private:
   std::vector<KVVec> buffers_;
   std::vector<KVVec> aux_buffers_;
+  const Partitioner* part_;
   int64_t emitted_ = 0;
   SpaceSaving* sketch_ = nullptr;
   std::vector<int64_t>* partition_counts_ = nullptr;
@@ -421,6 +430,21 @@ class JobRun {
     }
   }
 
+  // Routing for one key under the job's effective partitioner (the conf's or
+  // the flat hash). Everything that decides where a key LIVES — shuffle
+  // routing, state/static loads, session update routing — goes through the
+  // same function, or a key would be loaded on one task and updated on
+  // another (DESIGN.md §9).
+  uint32_t key_partition(BytesView key) const {
+    return conf_.partitioner
+               ? conf_.partitioner->partition(key)
+               : partition_of(key, static_cast<uint32_t>(T_));
+  }
+  // The same routing as a MiniDfs::PartitionFn for partition loads.
+  MiniDfs::PartitionFn partition_fn() const {
+    return [this](BytesView key) { return key_partition(key); };
+  }
+
   // Loads the phase-0 map state input for iteration `ckpt_iter + 1`.
   KVVec load_map_state(TaskContext& ctx, int i, int ckpt_iter, bool one2all) {
     // A reset_all epoch's baseline is the ORIGINAL initial state: the epoch
@@ -435,8 +459,8 @@ class JobRun {
       if (one2all) return ctx.dfs_read_all(conf_.state_path);
       return cluster_.dfs().read_partition(conf_.state_path,
                                            static_cast<uint32_t>(i),
-                                           static_cast<uint32_t>(T_),
-                                           ctx.worker(), &ctx.vt());
+                                           partition_fn(), ctx.worker(),
+                                           &ctx.vt());
     }
     // Workset mode restores the exact FRONTIER the checkpoint iteration
     // produced, not the full state: replaying the full state would revisit
@@ -495,8 +519,7 @@ class JobRun {
     for (const auto& batch : delta_history_) {
       std::vector<StaticDeltaOp> mine;
       for (const StaticDeltaOp& op : batch) {
-        if (partition_of(op.key, static_cast<uint32_t>(T_)) ==
-            static_cast<uint32_t>(i)) {
+        if (key_partition(op.key) == static_cast<uint32_t>(i)) {
           mine.push_back(op);
         }
       }
@@ -650,7 +673,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   StaticStore static_store;
   if (!ph.static_path.empty()) {
     KVVec static_data = cluster_.dfs().read_partition(
-        ph.static_path, static_cast<uint32_t>(i), static_cast<uint32_t>(T_),
+        ph.static_path, static_cast<uint32_t>(i), partition_fn(),
         ctx.worker(), &ctx.vt());
     if (TelemetryRecorder::enabled()) {
       cluster_.telemetry().record_static_bytes(
@@ -690,7 +713,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
     };
   }
 
-  TaskEmitter emitter(T_, num_aux);
+  TaskEmitter emitter(T_, num_aux, conf_.partitioner.get());
 
   // Telemetry hot-key profile of this task's shuffle output: a SpaceSaving
   // sketch plus exact per-partition emit counts, handed to the cluster
@@ -761,15 +784,42 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
   };
 
   auto flush_buffers = [&](int iter, bool final_flush) {
+    // Aggregated exchange (DESIGN.md §9): output destined for a reduce homed
+    // on a REMOTE worker is held to the iteration barrier (final flush) and
+    // shipped below as ONE coalesced message per destination worker. Local
+    // partitions stream exactly as before, so the paired-task fast path
+    // keeps its pipelining.
+    const bool agg = conf_.aggregated_shuffle;
+    struct AggBatch {
+      std::vector<std::shared_ptr<Endpoint>> eps;
+      KVVec records;
+      Bytes entries;  // per partition: task:u32, begin:u32, end:u32
+      uint32_t count = 0;
+    };
+    std::map<int, AggBatch> coalesced;  // dest worker -> batch
+    if (agg && final_flush) {
+      // The barrier frame is also this map's iteration-EOS for every reduce
+      // on the destination worker (each sibling mailbox receives the one
+      // frame), so a frame goes to every remote worker hosting a partition —
+      // record ranges or not — and no per-reduce EOS crosses the wire.
+      for (int r = 0; r < T_; ++r) {
+        const int home = red_row.at(r).home_worker();
+        if (home == ctx.worker()) continue;
+        coalesced[home].eps.push_back(
+            red_row.row()[static_cast<std::size_t>(r)]);
+      }
+    }
     for (int r = 0; r < T_; ++r) {
       KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
       if (buf.empty()) continue;
+      const bool held_remote =
+          agg && red_row.at(r).home_worker() != ctx.worker();
       // With a combiner, ship only at the end of the iteration: combining
       // within small streamed batches finds few duplicate keys and forfeits
       // most of the aggregation (matrix power would shuffle the full
       // pre-combine product stream).
       if (!final_flush &&
-          (combiner ||
+          (held_remote || combiner ||
            buf.size() < static_cast<std::size_t>(conf_.buffer_records))) {
         continue;
       }
@@ -793,9 +843,41 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
           ctx.charge_compute(cpu.elapsed_ns());
         }
       }
+      if (held_remote) {
+        AggBatch& b = coalesced[red_row.at(r).home_worker()];
+        encode_u32(static_cast<uint32_t>(r), b.entries);
+        encode_u32(static_cast<uint32_t>(b.records.size()), b.entries);
+        encode_u32(static_cast<uint32_t>(b.records.size() + buf.size()),
+                   b.entries);
+        ++b.count;
+        b.records.insert(b.records.end(),
+                         std::make_move_iterator(buf.begin()),
+                         std::make_move_iterator(buf.end()));
+        buf = KVVec{};
+        continue;
+      }
       send_batch(ctx, red_row.at(r), std::move(buf), i, iter, gen,
                  TrafficCategory::kShuffle);
       buf = KVVec{};
+    }
+    // Ship the coalesced batches: records for every partition on the worker
+    // concatenated in partition order, control = header (count, then
+    // (task, begin, end) record ranges) each receiver slices its own range
+    // from. One wire transfer per destination worker and iteration
+    // (kShuffleAgg) — possibly entry-free, since the frame doubles as the
+    // EOS barrier marker; the sibling mailbox hand-offs are free.
+    for (auto& [w, b] : coalesced) {
+      NetMessage msg;
+      msg.kind = NetMessage::Kind::kData;
+      msg.from_task = i;
+      msg.iteration = iter;
+      msg.generation = gen;
+      Bytes header;
+      encode_u32(b.count, header);
+      header.insert(header.end(), b.entries.begin(), b.entries.end());
+      msg.control = std::move(header);
+      msg.set_records(std::move(b.records));
+      ctx.send_coalesced(b.eps, msg, TrafficCategory::kShuffleAgg);
     }
   };
 
@@ -812,15 +894,24 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
     }
     TraceSpan flush_span("shuffle_flush", ctx.vt(), iter, gen);
     flush_buffers(iter, /*final_flush=*/true);
-    // Injection point: died after flushing shuffle data but before any EOS —
-    // every downstream reduce holds a partial iteration that only the
-    // rollback's generation bump can clear.
+    // Injection point: died after flushing shuffle data but before the EOS
+    // hand-offs (under the aggregated exchange, remote frames — EOS
+    // included — are out, local reduces got nothing) — downstream reduces
+    // hold a partial iteration that only the rollback's generation bump can
+    // clear.
     if (cluster_.consume_fault(ctx.worker(), FaultPoint::kMidShuffle, iter,
                                &ctx.vt())) {
       fail_task(ctx, i, iter, gen);
       return true;
     }
     for (int r = 0; r < T_; ++r) {
+      // Under the aggregated exchange remote reduces already hold this map's
+      // EOS — it rode the barrier frame — so only same-worker hand-offs
+      // still send one.
+      if (conf_.aggregated_shuffle &&
+          red_row.at(r).home_worker() != ctx.worker()) {
+        continue;
+      }
       send_eos(ctx, red_row.at(r), i, iter, gen, TrafficCategory::kShuffle);
     }
     IMR_DEBUG << tag_ << ": map " << p << "/" << i << " shipped eos iter "
@@ -1248,6 +1339,28 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
         IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
                   << " iter " << k << " eos " << eos_seen << "/" << T_
                   << " from " << msg->from_task;
+      } else if (!msg->control.empty()) {
+        // Aggregated frame (DESIGN.md §9): one payload carrying every
+        // partition homed on this worker; slice out our own record range.
+        // The buffer is shared with sibling mailboxes — copy, never
+        // take_records. The frame is flushed at the sender's iteration
+        // barrier, so it IS that map's EOS for this reduce — count it even
+        // when it carries no range for us.
+        ByteReader hr(msg->control);
+        const KVVec& all = msg->records();
+        for (uint32_t n = hr.u32(); n > 0; --n) {
+          uint32_t task = hr.u32();
+          uint32_t begin = hr.u32();
+          uint32_t end = hr.u32();
+          if (task != static_cast<uint32_t>(i)) continue;
+          IMR_CHECK(begin <= end && end <= all.size());
+          records.insert(records.end(), all.begin() + begin,
+                         all.begin() + end);
+        }
+        ++eos_seen;
+        IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
+                  << " iter " << k << " agg frame eos " << eos_seen << "/"
+                  << T_ << " from " << msg->from_task;
       } else {
         KVVec batch = msg->take_records();
         if (records.empty()) {
@@ -2151,12 +2264,22 @@ void JobRun::start() {
     throw ConfigError("persistent reduce tasks exceed reduce slots");
   }
 
-  // Placement: pair i (all phases) on worker i mod W — co-locating each map
-  // with its paired reduce so the reduce->map hand-off is local (§3.2.1).
-  pair_worker_.resize(static_cast<std::size_t>(T_));
-  for (int i = 0; i < T_; ++i) {
-    pair_worker_[static_cast<std::size_t>(i)] = i % cluster_.num_workers();
+  // Placement (§3.2.1 + DESIGN.md §9): each pair i (all phases) is placed by
+  // plan_placement — round-robin i mod W without a partitioner (or when the
+  // cost model makes locality free), partition-affinity-guided otherwise.
+  // Map and paired reduce always share the worker so the reduce->map
+  // hand-off stays local.
+  if (conf_.partitioner &&
+      conf_.partitioner->num_partitions() != static_cast<uint32_t>(T_)) {
+    throw ConfigError(strprintf(
+        "partitioner has %u partitions but the job runs %d task pairs",
+        conf_.partitioner->num_partitions(), T_));
   }
+  pair_worker_ = plan_placement(
+      T_, cluster_.num_workers(),
+      conf_.partitioner ? conf_.partitioner->affinity()
+                        : std::vector<int64_t>{},
+      cost_);
 
   master_ep_ = cluster_.fabric().create_endpoint(tag_ + "/master", -1);
   map_ep_.resize(static_cast<std::size_t>(P_));
@@ -2349,13 +2472,12 @@ RunReport JobRun::apply_update(const StaticDelta& delta) {
   const int new_session = session_id_ + 1;
   TraceSpan update_span("session_update", mvt_, new_session, generation_);
 
-  // Route ops to their owning map partitions — the same partition_of the
+  // Route ops to their owning map partitions — the same key_partition the
   // shuffle and the DFS partition reader use, so an op always lands on the
   // task whose store holds (or will hold) its key.
   std::vector<KVVec> routed(static_cast<std::size_t>(T_));
   for (const StaticDeltaOp& op : delta.ops) {
-    routed[partition_of(op.key, static_cast<uint32_t>(T_))].push_back(
-        delta_op_to_kv(op));
+    routed[key_partition(op.key)].push_back(delta_op_to_kv(op));
   }
   cluster_.metrics().inc("imr_delta_ops_routed",
                          static_cast<int64_t>(delta.ops.size()));
@@ -2414,8 +2536,7 @@ RunReport JobRun::apply_update(const StaticDelta& delta) {
   std::vector<KVVec> seeds_by_part(static_cast<std::size_t>(T_));
   if (!reset_all) {
     for (KV& kv : all_seeds) {
-      seeds_by_part[partition_of(kv.key, static_cast<uint32_t>(T_))].push_back(
-          std::move(kv));
+      seeds_by_part[key_partition(kv.key)].push_back(std::move(kv));
     }
   }
 

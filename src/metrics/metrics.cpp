@@ -17,6 +17,7 @@ const char* traffic_category_name(TrafficCategory c) {
     case TrafficCategory::kDfsWrite: return "dfs_write";
     case TrafficCategory::kCheckpoint: return "checkpoint";
     case TrafficCategory::kControl: return "control";
+    case TrafficCategory::kShuffleAgg: return "shuffle_agg";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ const char* traffic_inflight_counter_name(TrafficCategory c) {
     case TrafficCategory::kDfsWrite: return "inflight_dfs_write";
     case TrafficCategory::kCheckpoint: return "inflight_checkpoint";
     case TrafficCategory::kControl: return "inflight_control";
+    case TrafficCategory::kShuffleAgg: return "inflight_shuffle_agg";
   }
   return "inflight_?";
 }
@@ -236,6 +238,7 @@ void RunReport::capture(const MetricsRegistry& m) {
   broadcast_bytes = m.traffic_bytes(TrafficCategory::kBroadcast);
   checkpoint_bytes = m.traffic_bytes(TrafficCategory::kCheckpoint);
   control_bytes = m.traffic_bytes(TrafficCategory::kControl);
+  shuffle_agg_bytes = m.traffic_bytes(TrafficCategory::kShuffleAgg);
   dfs_read_bytes = m.traffic_bytes(TrafficCategory::kDfsRead);
   dfs_write_bytes = m.traffic_bytes(TrafficCategory::kDfsWrite);
   shuffle_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kShuffle);
@@ -245,6 +248,8 @@ void RunReport::capture(const MetricsRegistry& m) {
   checkpoint_remote_bytes =
       m.traffic_remote_bytes(TrafficCategory::kCheckpoint);
   control_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kControl);
+  shuffle_agg_remote_bytes =
+      m.traffic_remote_bytes(TrafficCategory::kShuffleAgg);
   job_init_time = m.time(TimeCategory::kJobInit);
   task_init_time = m.time(TimeCategory::kTaskInit);
   network_time = m.time(TimeCategory::kNetwork);
@@ -263,6 +268,7 @@ void RunReport::subtract(const RunReport& base) {
   broadcast_bytes -= base.broadcast_bytes;
   checkpoint_bytes -= base.checkpoint_bytes;
   control_bytes -= base.control_bytes;
+  shuffle_agg_bytes -= base.shuffle_agg_bytes;
   dfs_read_bytes -= base.dfs_read_bytes;
   dfs_write_bytes -= base.dfs_write_bytes;
   shuffle_remote_bytes -= base.shuffle_remote_bytes;
@@ -270,6 +276,7 @@ void RunReport::subtract(const RunReport& base) {
   broadcast_remote_bytes -= base.broadcast_remote_bytes;
   checkpoint_remote_bytes -= base.checkpoint_remote_bytes;
   control_remote_bytes -= base.control_remote_bytes;
+  shuffle_agg_remote_bytes -= base.shuffle_agg_remote_bytes;
   job_init_time -= base.job_init_time;
   task_init_time -= base.task_init_time;
   network_time -= base.network_time;

@@ -31,13 +31,14 @@ enum class TrafficCategory {
   kDfsWrite,       // DFS file writes
   kCheckpoint,     // checkpoint dumps (also DFS writes, tracked separately)
   kControl,        // termination / report / migration control messages
+  kShuffleAgg,     // aggregated cross-worker shuffle batches (DESIGN.md §9)
 };
 
 const char* traffic_category_name(TrafficCategory c);
 // Static-storage counter-track name for the per-category in-flight bytes
 // samples the fabric records into the TraceRecorder ("inflight_shuffle"...).
 const char* traffic_inflight_counter_name(TrafficCategory c);
-inline constexpr int kNumTrafficCategories = 7;
+inline constexpr int kNumTrafficCategories = 8;
 
 // Categories of charged simulated time, used for the Fig. 10 factor
 // decomposition.
@@ -226,11 +227,13 @@ struct RunReport {
   int64_t control_bytes = 0;
   int64_t dfs_read_bytes = 0;
   int64_t dfs_write_bytes = 0;
+  int64_t shuffle_agg_bytes = 0;
   int64_t shuffle_remote_bytes = 0;
   int64_t reduce_to_map_remote_bytes = 0;
   int64_t broadcast_remote_bytes = 0;
   int64_t checkpoint_remote_bytes = 0;
   int64_t control_remote_bytes = 0;
+  int64_t shuffle_agg_remote_bytes = 0;
   SimDuration job_init_time{0};
   SimDuration task_init_time{0};
   SimDuration network_time{0};

@@ -66,7 +66,7 @@ void Fabric::send(int sender_worker, VClock& vt, Endpoint& to, NetMessage msg,
     metrics_.inc("net_zombie_sends");
     return;
   }
-  std::size_t bytes = msg.payload_bytes();
+  std::size_t bytes = msg.charge_bytes();
   bool local = (sender_worker == to.home_worker());
 
   double bw = local ? cost_.local_bandwidth : cost_.net_bandwidth;
@@ -181,6 +181,31 @@ void Fabric::broadcast(int sender_worker, VClock& vt,
     NetMessage copy = msg;
     if (fan_out) copy.mark_payload_shared();
     send(sender_worker, vt, *ep, std::move(copy), category);
+  }
+}
+
+void Fabric::send_coalesced(int sender_worker, VClock& vt,
+                            const std::vector<std::shared_ptr<Endpoint>>& to,
+                            const NetMessage& msg, TrafficCategory category) {
+  IMR_CHECK_MSG(!to.empty(), "coalesced send needs >= 1 destination");
+  const int home = to.front()->home_worker();
+  for (const auto& ep : to) {
+    IMR_CHECK_MSG(ep->home_worker() == home,
+                  "coalesced destinations must share a home worker");
+  }
+  // Reuses send() end to end (fault machinery, ledger, telemetry, tracing):
+  // the first copy carries the default full charge, siblings override it to
+  // zero — the wire transfer was already paid in full by the first copy.
+  // Payload sharing follows the broadcast discipline so take_records never
+  // mutates a buffer a sibling may still read.
+  const bool fan_out = to.size() > 1;
+  bool first = true;
+  for (const auto& ep : to) {
+    NetMessage copy = msg;
+    if (fan_out) copy.mark_payload_shared();
+    if (!first) copy.charge_override = 0;
+    send(sender_worker, vt, *ep, std::move(copy), category);
+    first = false;
   }
 }
 

@@ -147,6 +147,19 @@ struct NetMessage {
     return (payload ? wire_size(*payload) : 0) + control.size() + 32;
   }
 
+  // Aggregated exchange (DESIGN.md §9): when set, the fabric charges this
+  // many bytes instead of payload_bytes(). Fabric::send_coalesced sets it to
+  // ZERO on every sibling copy after the first: one wire transfer per
+  // destination worker carries the full payload + framing, and the co-homed
+  // endpoints' mailbox hand-offs happen in memory after the frame has
+  // already landed on the worker — they cost nothing on the wire.
+  static constexpr std::size_t kChargeDefault = SIZE_MAX;
+  std::size_t charge_override = kChargeDefault;
+  std::size_t charge_bytes() const {
+    return charge_override != kChargeDefault ? charge_override
+                                             : payload_bytes();
+  }
+
  private:
   bool payload_shared_ = false;
   inline static std::atomic<int64_t> payload_deep_copies_{0};
@@ -208,7 +221,7 @@ class Endpoint {
         tr.flow_end(traffic_category_name(cat), msg->trace_flow, vt.now_ns(),
                     msg->iteration, msg->generation);
         int64_t inflight = tr.add_inflight(
-            msg->trace_cat, -static_cast<int64_t>(msg->payload_bytes()));
+            msg->trace_cat, -static_cast<int64_t>(msg->charge_bytes()));
         tr.counter(traffic_inflight_counter_name(cat), vt.now_ns(), inflight);
         tr.counter("queue_depth", vt.now_ns(),
                    static_cast<int64_t>(queue_.size()));
@@ -298,6 +311,16 @@ class Fabric {
   void broadcast(int sender_worker, VClock& vt,
                  const std::vector<std::shared_ptr<Endpoint>>& to,
                  const NetMessage& msg, TrafficCategory category);
+
+  // Aggregated exchange (DESIGN.md §9): deliver ONE payload to several
+  // endpoints that are all homed on the SAME worker. The first endpoint is
+  // charged the full payload (the one wire transfer); each sibling copy is
+  // charged zero — the in-memory hand-off after the batch has landed on the
+  // worker. All copies share the records buffer. Checks that the
+  // destinations agree on a home worker.
+  void send_coalesced(int sender_worker, VClock& vt,
+                      const std::vector<std::shared_ptr<Endpoint>>& to,
+                      const NetMessage& msg, TrafficCategory category);
 
  private:
   const CostModel& cost_;

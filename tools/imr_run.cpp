@@ -22,6 +22,17 @@
 //                          A line of "---" ends a batch; each batch is one
 //                          apply_update() epoch.
 //   --delta-threshold X    pagerank --workset share threshold (default 1e-8)
+//   --partitioner P        hash | bfs | file — how keys map to task pairs
+//                          (graph algorithms; default hash). bfs grows seeded
+//                          balanced regions over the graph; file loads a
+//                          METIS-style assignment (see --partition-file).
+//                          Non-hash partitioners also drive partition-aware
+//                          task placement (DESIGN.md §9).
+//   --partition-file PATH  vertex->partition file for --partitioner file
+//                          (line i = partition of vertex i; '#' comments)
+//   --agg-exchange         aggregate remote-destined shuffle output into one
+//                          coalesced batch per destination worker, flushed at
+//                          the iteration barrier (DESIGN.md §9)
 //   --buffer N             reduce->map send buffer records
 //   --checkpoint N         checkpoint every N iterations
 //   --balance              enable load balancing
@@ -58,6 +69,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "graph/generator.h"
+#include "graph/partition.h"
 #include "imapreduce/engine.h"
 #include "mapreduce/iterative_driver.h"
 #include "metrics/telemetry.h"
@@ -84,6 +96,9 @@ struct Options {
   double data_scale = 1.0;
   uint64_t seed = 42;
   bool report = false;
+  std::string partitioner = "hash";  // hash | bfs | file
+  std::string partition_file;       // METIS-style assignment for "file"
+  bool agg = false;                 // aggregated cross-worker exchange
   std::string trace;  // trace export path; empty = no tracing
   std::string telemetry;  // telemetry JSONL export path; empty = disabled
   std::string update_batch;  // graph-edit script; empty = plain run
@@ -107,6 +122,9 @@ Options parse_options(const Flags& flags) {
   o.data_scale = flags.get_double("data-scale", 1.0);
   o.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
   o.report = flags.get_bool("report");
+  o.partitioner = flags.get("partitioner", "hash");
+  o.partition_file = flags.get("partition-file", "");
+  o.agg = flags.get_bool("agg-exchange");
   o.update_batch = flags.get("update-batch", "");
   o.trace = flags.get("trace", "");
   if (o.trace.empty()) {
@@ -139,6 +157,28 @@ void apply_common(IterJobConf& conf, const Options& o) {
   conf.buffer_records = o.buffer;
   conf.checkpoint_every = o.checkpoint;
   conf.load_balancing = o.balance;
+  conf.aggregated_shuffle = o.agg;
+}
+
+// Builds the conf's partitioner from --partitioner/--partition-file (graph
+// algorithms only; flag combinations are validated in main). A non-hash
+// partitioner pins conf.num_tasks: the partition count must equal the
+// engine's task count, so the default ("fill the slots") is resolved here.
+void apply_partitioner(IterJobConf& conf, const Options& o, const Graph& g,
+                       const Cluster& cluster) {
+  if (o.partitioner == "hash") return;
+  const int t = o.tasks > 0
+                    ? o.tasks
+                    : std::min(cluster.map_slots(), cluster.reduce_slots());
+  conf.num_tasks = t;
+  if (o.partitioner == "bfs") {
+    conf.partitioner =
+        make_bfs_partitioner(g, static_cast<uint32_t>(t), o.seed);
+  } else {  // "file"
+    conf.partitioner = make_file_partitioner(
+        load_partition_file(o.partition_file, g.num_nodes()), g,
+        static_cast<uint32_t>(t));
+  }
 }
 
 // One parsed batch of graph edits from an --update-batch script.
@@ -274,6 +314,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool graph_algo =
+      algo == "sssp" || algo == "pagerank" || algo == "concomp";
+  if (o.partitioner != "hash" && o.partitioner != "bfs" &&
+      o.partitioner != "file") {
+    std::fprintf(stderr, "error: --partitioner must be hash, bfs, or file\n");
+    return 2;
+  }
+  if (o.partitioner == "file" && o.partition_file.empty()) {
+    std::fprintf(stderr,
+                 "error: --partitioner file needs --partition-file <path>\n");
+    return 2;
+  }
+  if (!o.partition_file.empty() && o.partitioner != "file") {
+    std::fprintf(stderr,
+                 "error: --partition-file only applies to --partitioner "
+                 "file\n");
+    return 2;
+  }
+  if (o.partitioner != "hash" && !graph_algo) {
+    std::fprintf(stderr,
+                 "error: --partitioner is wired for the graph algorithms "
+                 "(sssp|pagerank|concomp)\n");
+    return 2;
+  }
+
   if (!o.trace.empty()) TraceRecorder::instance().enable();
   if (!o.telemetry.empty()) TelemetryRecorder::instance().enable();
 
@@ -308,6 +373,7 @@ int main(int argc, char** argv) {
           IterJobConf conf =
               Sssp::imapreduce("data", "out", o.iterations, o.threshold);
           apply_common(conf, o);
+          apply_partitioner(conf, o, g, *cluster);
           imr = session ? run_update_session(
                               *cluster, conf, g,
                               parse_update_script(o.update_batch),
@@ -329,6 +395,7 @@ int main(int argc, char** argv) {
           IterJobConf conf = PageRank::imapreduce_delta(
               "data_delta", "out", o.iterations, o.delta_threshold);
           apply_common(conf, o);
+          apply_partitioner(conf, o, g, *cluster);
           imr = session ? run_update_session(
                               *cluster, conf, g,
                               parse_update_script(o.update_batch),
@@ -338,6 +405,7 @@ int main(int argc, char** argv) {
           IterJobConf conf = PageRank::imapreduce(
               "data", "out", g.num_nodes(), o.iterations, o.threshold);
           apply_common(conf, o);
+          apply_partitioner(conf, o, g, *cluster);
           imr = IterativeEngine(*cluster).run(conf);
         }
       } else {
@@ -351,6 +419,7 @@ int main(int argc, char** argv) {
           IterJobConf conf =
               ConComp::imapreduce("data", "out", o.iterations, o.threshold);
           apply_common(conf, o);
+          apply_partitioner(conf, o, g, *cluster);
           imr = session ? run_update_session(
                               *cluster, conf, g,
                               parse_update_script(o.update_batch),

@@ -258,10 +258,10 @@ class JsonParser {
 // ---------------------------------------------------------------------------
 // Telemetry model: one run line plus the iter lines that preceded it.
 
-constexpr int kNumCats = 7;
+constexpr int kNumCats = 8;
 const char* const kCatNames[kNumCats] = {
     "shuffle", "reduce_to_map", "broadcast", "dfs_read",
-    "dfs_write", "checkpoint", "control"};
+    "dfs_write", "checkpoint", "control", "shuffle_agg"};
 
 struct Run {
   JValue line;                 // the "run" object
@@ -420,6 +420,17 @@ std::vector<std::string> validate_run(const Run& run) {
                               kCatNames[c], static_cast<long long>(tr),
                               static_cast<long long>(tb)));
     }
+    // Locality ratio (local / total bytes) must land in [0, 1]; outside it
+    // means a negative remote count or remote > total slipped through.
+    if (tb > 0) {
+      const double loc =
+          static_cast<double>(tb - tr) / static_cast<double>(tb);
+      if (loc < 0.0 || loc > 1.0) {
+        bad.push_back(strprintf("run: traffic[%s] locality ratio %.3f "
+                                "outside [0, 1]",
+                                kCatNames[c], loc));
+      }
+    }
   }
 
   // Hot keys: sketch counts are bounded by the sample total and errors by
@@ -535,7 +546,8 @@ void print_run(const Run& run, int top) {
   // Traffic totals (the Fig-11 categories) with the conservation verdict.
   const MatrixSums sums = sum_matrix(run);
   const JValue& traffic = r.at("traffic");
-  std::printf("\n  traffic (total / remote / msgs)         matrix check\n");
+  std::printf(
+      "\n  traffic (total / remote / msgs / locality)  matrix check\n");
   int64_t total_bytes = 0, total_remote = 0;
   for (int c = 0; c < kNumCats; ++c) {
     const JValue& cat = traffic.at(kCatNames[c]);
@@ -547,12 +559,22 @@ void print_run(const Run& run, int top) {
     if (tb == 0 && tm == 0) continue;
     const bool ok = tb == sums.bytes[c] && tr == sums.remote[c] &&
                     tm == sums.msgs[c];
-    std::printf("    %-13s %10s / %10s / %-8lld %s\n", kCatNames[c],
+    // Locality ratio: share of the category's bytes that stayed on-worker.
+    std::printf("    %-13s %10s / %10s / %-6lld loc %.2f  %s\n", kCatNames[c],
                 hb(tb).c_str(), hb(tr).c_str(), static_cast<long long>(tm),
+                tb > 0 ? static_cast<double>(tb - tr) /
+                             static_cast<double>(tb)
+                       : 1.0,
                 ok ? "conserved" : "MISMATCH");
   }
-  std::printf("    %-13s %10s / %10s\n", "total", hb(total_bytes).c_str(),
+  std::printf("    %-13s %10s / %10s", "total", hb(total_bytes).c_str(),
               hb(total_remote).c_str());
+  if (total_bytes > 0) {
+    std::printf("          loc %.2f",
+                static_cast<double>(total_bytes - total_remote) /
+                    static_cast<double>(total_bytes));
+  }
+  std::printf("\n");
 
   // Edge cut: worker->worker off-diagonal bytes, master excluded (control
   // traffic is placement-insensitive).
@@ -616,12 +638,18 @@ void print_run(const Run& run, int top) {
       max_part = std::max(max_part, static_cast<int64_t>(p.num));
       sum_part += static_cast<int64_t>(p.num);
     }
+    const double mean_part = static_cast<double>(sum_part) /
+                             static_cast<double>(parts.size());
     std::printf("  partition skew: %.3f (max %lld vs mean %.1f over %d "
                 "partitions)\n",
                 r.num_at("skew"), static_cast<long long>(max_part),
-                static_cast<double>(sum_part) /
-                    static_cast<double>(parts.size()),
-                static_cast<int>(parts.size()));
+                mean_part, static_cast<int>(parts.size()));
+    if (mean_part > 0) {
+      // Balance factor (max/mean shuffle records per partition): 1.0 is a
+      // perfectly even split; the partitioner tests bound it at 1.1.
+      std::printf("  partition balance factor: %.3f (max/mean)\n",
+                  static_cast<double>(max_part) / mean_part);
+    }
   }
 
   if (run.iters.empty()) return;
