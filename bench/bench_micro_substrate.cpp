@@ -79,6 +79,27 @@ void BM_SortRecords(benchmark::State& state) {
 }
 BENCHMARK(BM_SortRecords)->Arg(1024)->Arg(16384);
 
+// Arena-backed overload (DESIGN.md §10): the (prefix, index) scratch comes
+// from pooled blocks instead of the global allocator — after the first
+// iteration the sort path performs zero heap allocations. A/B against
+// BM_SortRecords above (same seed, same shape) measures the allocator's
+// share of the per-iteration sort.
+void BM_SortRecordsArena(benchmark::State& state) {
+  Rng rng(2);
+  KVVec base;
+  for (int i = 0; i < state.range(0); ++i) {
+    base.emplace_back(u64_key(rng.next_u64()), f64_value(1.0));
+  }
+  RecordArena arena;
+  for (auto _ : state) {
+    KVVec copy = base;
+    sort_records(copy, true, arena);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortRecordsArena)->Arg(1024)->Arg(16384);
+
 // --- Record-path A/B series -------------------------------------------------
 // The machine drifts between benchmark runs, so the pre-overhaul
 // implementations are kept VERBATIM inside this binary: one run of the suite

@@ -1,0 +1,256 @@
+// Out-of-core A/B (DESIGN.md §10): the same fixed-length job run unlimited
+// and with a task memory budget of ONE QUARTER of its per-task per-iteration
+// reduce input, on fresh identically configured clusters.
+//
+// The budgeted run degrades to disk — map and reduce buffers that cross the
+// budget are sorted, spilled to MiniDfs as runs (TrafficCategory::kSpill),
+// and the reduce streams a k-way merge over its runs — so the A/B gates the
+// three promises the memory governor makes:
+//   1. identity: the final states are BYTE-IDENTICAL (checked before any
+//      number is reported — a memory win that changes the answer is a bug);
+//   2. enforcement: the arena/budget high-water mark stays within the budget
+//      plus bounded overshoot (one in-flight batch, the spill sort's
+//      proportional scratch, and block-granularity arena growth);
+//   3. bounded cost: the virtual-time slowdown of spilling every iteration
+//      through the DFS stays under a generous ceiling — out-of-core must
+//      degrade, not collapse.
+//
+// `--json <path>` dumps the measurements for
+// scripts/check_bench_regression.py --spill, which gates the (deterministic)
+// spill amplification ratio against the oom_spill_ab series in
+// BENCH_substrate.json.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "bench_common.h"
+#include "common/arena.h"
+#include "mapreduce/engine.h"
+#include "metrics/table.h"
+
+namespace imr::bench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kTasks = 8;
+constexpr int kIterations = 6;
+constexpr uint32_t kGridSide = 224;
+// Small shuffle batches keep the budget overshoot tight: the reduce charges
+// one arriving batch before noticing it is over, so batch size bounds the
+// spill trigger's lag.
+constexpr int kBufferRecords = 256;
+constexpr double kMaxSlowdown = 10.0;
+
+ClusterConfig spill_cluster() {
+  ClusterConfig config;
+  config.num_workers = kWorkers;
+  config.map_slots_per_worker = 2;
+  config.reduce_slots_per_worker = 2;
+  config.cost = CostModel::local_cluster();
+  return config;
+}
+
+Graph bench_graph(bool weighted) {
+  GridGraphSpec spec;
+  spec.rows = kGridSide;
+  spec.cols = kGridSide;
+  spec.weighted = weighted;
+  spec.seed = kSeed;
+  return generate_grid_graph(spec);
+}
+
+std::map<Bytes, Bytes> read_state(Cluster& cluster, const std::string& path) {
+  std::map<Bytes, Bytes> state;
+  for (const auto& part : resolve_input_paths(cluster.dfs(), path)) {
+    for (const KV& kv : cluster.dfs().read_all(part, -1, nullptr)) {
+      state[kv.key] = kv.value;
+    }
+  }
+  return state;
+}
+
+struct Measurement {
+  double wall_ms = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t spill_bytes = 0;
+  int64_t spill_runs = 0;
+  int64_t arena_hwm = 0;
+  std::map<Bytes, Bytes> state;
+};
+
+struct AB {
+  const char* algo;
+  int64_t budget = 0;
+  Measurement unlimited;
+  Measurement budgeted;
+  double slowdown() const {
+    return unlimited.wall_ms > 0 ? budgeted.wall_ms / unlimited.wall_ms : 0.0;
+  }
+  double amplification() const {
+    return unlimited.shuffle_bytes > 0
+               ? static_cast<double>(budgeted.spill_bytes) /
+                     static_cast<double>(unlimited.shuffle_bytes)
+               : 0.0;
+  }
+};
+
+Measurement run_once(const char* algo, const Graph& g, int64_t budget) {
+  Cluster cluster(spill_cluster());
+  IterJobConf conf;
+  if (std::strcmp(algo, "sssp") == 0) {
+    Sssp::setup(cluster, g, 0, "in");
+    conf = Sssp::imapreduce("in", "out", kIterations);
+  } else {
+    PageRank::setup(cluster, g, "in");
+    conf = PageRank::imapreduce("in", "out", g.num_nodes(), kIterations);
+  }
+  conf.num_tasks = kTasks;
+  conf.buffer_records = kBufferRecords;
+  conf.max_task_memory_bytes = budget;
+  cluster.metrics().reset();
+  IterativeEngine engine(cluster);
+  RunReport report = engine.run(conf);
+  Measurement m;
+  m.wall_ms = report.total_wall_ms;
+  m.shuffle_bytes = cluster.metrics().traffic_bytes(TrafficCategory::kShuffle);
+  m.spill_bytes = cluster.metrics().count("imr_spill_bytes_written");
+  m.spill_runs = cluster.metrics().count("imr_spill_runs_written");
+  m.arena_hwm = cluster.metrics().gauge("imr_arena_hwm");
+  m.state = read_state(cluster, "out");
+  // The ledger must close balanced with nothing left on disk — the same
+  // conservation rule the InvariantChecker and imr_stat --validate enforce.
+  const int64_t open = m.spill_bytes -
+                       cluster.metrics().count("imr_spill_bytes_read") -
+                       cluster.metrics().count("imr_spill_bytes_dropped");
+  if (open != 0 || !cluster.dfs().list("spill/").empty()) {
+    std::fprintf(stderr, "FATAL: %s spill ledger left %lld bytes open\n",
+                 algo, static_cast<long long>(open));
+    std::exit(1);
+  }
+  return m;
+}
+
+AB run_ab(const char* algo, const Graph& g) {
+  AB ab;
+  ab.algo = algo;
+  ab.unlimited = run_once(algo, g, 0);
+  // Quarter of the measured per-task per-iteration reduce input, floored at
+  // a few arena blocks so the budget means "several buffers", not "less
+  // than one sort's scratch".
+  ab.budget = std::max<int64_t>(
+      ab.unlimited.shuffle_bytes / (kTasks * kIterations * 4),
+      3 * static_cast<int64_t>(RecordArena::kBlockBytes));
+  ab.budgeted = run_once(algo, g, ab.budget);
+  if (ab.unlimited.state != ab.budgeted.state) {
+    std::fprintf(stderr,
+                 "FATAL: %s final state under the budget differs from the "
+                 "unlimited run — refusing to report numbers\n",
+                 algo);
+    std::exit(1);
+  }
+  return ab;
+}
+
+}  // namespace
+}  // namespace imr::bench
+
+int main(int argc, char** argv) {
+  using namespace imr;
+  using namespace imr::bench;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  banner("oom-spill-ab",
+         "Memory governance: unlimited vs quarter-footprint task budget, "
+         "byte-identity gated");
+  const Graph sssp_g = bench_graph(/*weighted=*/true);
+  const Graph pr_g = bench_graph(/*weighted=*/false);
+  note(dataset_line("grid", sssp_g));
+  note(strprintf("%d workers, %d task pairs, %d fixed iterations, "
+                 "%d-record batches",
+                 kWorkers, kTasks, kIterations, kBufferRecords));
+
+  const AB results[] = {run_ab("pagerank", pr_g), run_ab("sssp", sssp_g)};
+
+  TextTable table({"algo", "budget", "arena hwm", "spilled", "runs",
+                   "amplification", "slowdown"});
+  bool ok = true;
+  for (const AB& ab : results) {
+    table.add_row({ab.algo, human_bytes(ab.budget),
+                   human_bytes(ab.budgeted.arena_hwm),
+                   human_bytes(ab.budgeted.spill_bytes),
+                   strprintf("%lld", static_cast<long long>(
+                                         ab.budgeted.spill_runs)),
+                   strprintf("%.2fx", ab.amplification()),
+                   strprintf("%.2fx", ab.slowdown())});
+    // Enforcement: budget + one batch + the spill sort's proportional
+    // scratch (bounded by the buffer it sorts, so < budget) + one arena
+    // block of growth granularity.
+    const int64_t hwm_ceiling =
+        2 * ab.budget + 2 * static_cast<int64_t>(RecordArena::kBlockBytes);
+    if (ab.budgeted.spill_runs < kTasks * kIterations) {
+      std::fprintf(stderr, "FAIL: %s spilled only %lld runs — the budget "
+                   "never bit\n",
+                   ab.algo,
+                   static_cast<long long>(ab.budgeted.spill_runs));
+      ok = false;
+    }
+    if (ab.budgeted.arena_hwm > hwm_ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: %s arena hwm %lld exceeds the enforcement ceiling "
+                   "%lld (budget %lld)\n",
+                   ab.algo, static_cast<long long>(ab.budgeted.arena_hwm),
+                   static_cast<long long>(hwm_ceiling),
+                   static_cast<long long>(ab.budget));
+      ok = false;
+    }
+    if (ab.unlimited.spill_runs != 0) {
+      std::fprintf(stderr, "FAIL: %s unlimited run spilled\n", ab.algo);
+      ok = false;
+    }
+    if (ab.slowdown() > kMaxSlowdown) {
+      std::fprintf(stderr, "FAIL: %s slowdown %.2fx exceeds %.1fx\n", ab.algo,
+                   ab.slowdown(), kMaxSlowdown);
+      ok = false;
+    }
+  }
+  print_table(table);
+  expectation("byte-identical output, budget enforced, bounded slowdown",
+              strprintf("pagerank %.2fx / sssp %.2fx virtual-time slowdown",
+                        results[0].slowdown(), results[1].slowdown()));
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < 2; ++i) {
+      const AB& ab = results[i];
+      std::fprintf(
+          f,
+          "  \"%s\": {\"budget_bytes\": %lld, \"arena_hwm\": %lld, "
+          "\"spill_bytes\": %lld, \"spill_runs\": %lld, "
+          "\"shuffle_bytes\": %lld, \"amplification\": %.3f, "
+          "\"slowdown\": %.3f}%s\n",
+          ab.algo, static_cast<long long>(ab.budget),
+          static_cast<long long>(ab.budgeted.arena_hwm),
+          static_cast<long long>(ab.budgeted.spill_bytes),
+          static_cast<long long>(ab.budgeted.spill_runs),
+          static_cast<long long>(ab.unlimited.shuffle_bytes),
+          ab.amplification(), ab.slowdown(), i == 0 ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+  return ok ? 0 : 1;
+}

@@ -5,6 +5,8 @@ Usage: scripts/check_bench_regression.py bench_out.json \
            [--reference BENCH_substrate.json] [--tolerance 2.0]
        scripts/check_bench_regression.py --placement placement_ab.json \
            [--reference BENCH_substrate.json] [--tolerance 2.0]
+       scripts/check_bench_regression.py --spill oom_spill.json \
+           [--reference BENCH_substrate.json] [--tolerance 2.0]
 
 `bench_out.json` is google-benchmark's --benchmark_out JSON for a run of
 bench_micro_substrate covering the BM_FabricSendMT* series. The reference
@@ -19,6 +21,15 @@ one-relaxed-atomic-branch discipline eroding into real work) shows up the
 same way: the armed/disarmed ratio collapses toward 1 only if both paths do
 the work, so the disarmed baseline is additionally checked against the
 armed time of the SAME run (disarmed must stay strictly cheaper).
+
+--spill gates bench_oom_spill_ab's out-of-core measurements against the
+oom_spill_ab series: per algorithm, the budget must have bitten (spill_runs
+> 0), spill amplification (spilled bytes over the unlimited run's shuffle
+bytes) must not exceed the reference times --tolerance, and the virtual-time
+slowdown must stay within the same factor of the reference. Run counts and
+high-water marks are NOT gated here — batch arrival order shifts them a few
+percent between runs, and the binary already hard-gates byte identity,
+ledger balance, and the arena ceiling before emitting JSON at all.
 
 --placement instead gates bench_placement_ab's remote-byte measurements:
 virtual-traffic byte counts are fully deterministic (no machine drift), so
@@ -117,6 +128,56 @@ def check_placement(run_path: str, reference: dict, tolerance: float) -> int:
     return 0
 
 
+def check_spill(run_path: str, reference: dict, tolerance: float) -> int:
+    """Gate bench_oom_spill_ab --json output against the oom_spill_ab series."""
+    with open(run_path) as f:
+        run = json.load(f)
+    series = reference.get("oom_spill_ab", {})
+    failures = []
+    for algo in ("pagerank", "sssp"):
+        point = run.get(algo)
+        if point is None:
+            failures.append(f"oom_spill_ab/{algo}: missing from the bench run")
+            continue
+        runs = int(point["spill_runs"])
+        amp = float(point["amplification"])
+        slowdown = float(point["slowdown"])
+        ref = series.get(algo, {})
+        amp_limit = float(ref.get("amplification", 1.0)) * tolerance
+        slow_limit = float(ref.get("slowdown", 2.0)) * tolerance
+        checks = [
+            (runs > 0, f"{runs} spill runs", "the budget never bit"),
+            (
+                amp <= amp_limit,
+                f"amplification {amp:.2f}x (limit {amp_limit:.2f}x)",
+                f"amplification {amp:.2f}x exceeds {amp_limit:.2f}x",
+            ),
+            (
+                slowdown <= slow_limit,
+                f"slowdown {slowdown:.2f}x (limit {slow_limit:.2f}x)",
+                f"slowdown {slowdown:.2f}x exceeds {slow_limit:.2f}x",
+            ),
+        ]
+        parts = []
+        for ok, detail, failure in checks:
+            parts.append(detail)
+            if not ok:
+                failures.append(f"oom_spill_ab/{algo}: {failure}")
+        verdict = (
+            "ok"
+            if all(ok for ok, _, _ in checks)
+            else "REGRESSION"
+        )
+        print(f"oom_spill_ab/{algo}: " + ", ".join(parts) + f" {verdict}")
+    if failures:
+        print("\nFAIL:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nall spill amplification and slowdown ratios within tolerance")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -127,6 +188,11 @@ def main() -> int:
     ap.add_argument(
         "--placement",
         help="bench_placement_ab --json output to gate instead of the "
+        "probe-overhead series",
+    )
+    ap.add_argument(
+        "--spill",
+        help="bench_oom_spill_ab --json output to gate instead of the "
         "probe-overhead series",
     )
     ap.add_argument("--reference", default="BENCH_substrate.json")
@@ -144,8 +210,10 @@ def main() -> int:
         reference = json.load(f)
     if args.placement:
         return check_placement(args.placement, reference, args.tolerance)
+    if args.spill:
+        return check_spill(args.spill, reference, args.tolerance)
     if not args.bench_out:
-        ap.error("either bench_out or --placement is required")
+        ap.error("either bench_out, --placement, or --spill is required")
     run = load_run(args.bench_out)
 
     failures = []

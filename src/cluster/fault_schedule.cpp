@@ -19,6 +19,8 @@ const char* fault_point_name(FaultPoint p) {
       return "state_push";
     case FaultPoint::kMigration:
       return "migration";
+    case FaultPoint::kSpillWrite:
+      return "spill_write";
   }
   return "unknown";
 }
@@ -29,7 +31,7 @@ FaultSchedule FaultSchedule::random(uint64_t seed, int num_workers,
   IMR_CHECK(num_workers > 0);
   IMR_CHECK(max_iteration >= 1);
   if (points.empty()) {
-    for (int p = 0; p < kNumFaultPoints; ++p) {
+    for (int p = 0; p < kNumDefaultFaultPoints; ++p) {
       points.push_back(static_cast<FaultPoint>(p));
     }
   }

@@ -28,10 +28,18 @@ enum class FaultPoint : uint8_t {
   kStatePush,              // reduce shipped part of its reduce->map state
   kMigration,              // a respawned (migrated/recovered) task dies on
                            // startup — failure during recovery (§3.4.2)
+  kSpillWrite,             // task dies while writing a budgeted spill run
+                           // (out-of-core record path, DESIGN.md §10)
 };
 
 const char* fault_point_name(FaultPoint p);
-inline constexpr int kNumFaultPoints = 6;
+inline constexpr int kNumFaultPoints = 7;
+// Points FaultSchedule::random draws from when no explicit set is given:
+// the original six. kSpillWrite only fires in budget-limited runs, so
+// including it by default would plant never-firing events in every seeded
+// unlimited-budget chaos sweep (tripping expect_all_faults_consumed) and
+// shift every existing seed's draw sequence.
+inline constexpr int kNumDefaultFaultPoints = 6;
 
 struct FaultEvent {
   int worker = 0;
@@ -55,7 +63,8 @@ class FaultSchedule {
 
   // `num_faults` events drawn deterministically from `seed`: workers in
   // [0, num_workers), iterations in [1, max_iteration], points from `points`
-  // (all six when empty). Distinct workers are preferred so that cascades
+  // (the six default points when empty — pass kSpillWrite explicitly for
+  // budget-limited runs). Distinct workers are preferred so that cascades
   // hit independent failure domains.
   static FaultSchedule random(uint64_t seed, int num_workers,
                               int max_iteration, int num_faults,

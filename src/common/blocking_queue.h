@@ -12,6 +12,10 @@
 #include <optional>
 #include <utility>
 
+#ifdef IMR_SANITIZE_BUILD
+#include <cassert>
+#endif
+
 namespace imr {
 
 template <typename T>
@@ -30,6 +34,10 @@ class BlockingQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+#ifdef IMR_SANITIZE_BUILD
+      if (items_.size() > depth_hwm_) depth_hwm_ = items_.size();
+      assert(depth_bound_ == 0 || items_.size() <= depth_bound_);
+#endif
     }
     cv_.notify_one();
     return true;
@@ -86,11 +94,30 @@ class BlockingQueue {
     return items_.size();
   }
 
+#ifdef IMR_SANITIZE_BUILD
+  // Sanitizer-build depth assertion: arms an upper bound on queue depth
+  // (0 = unbounded, the default). A channel outgrowing its bound means a
+  // producer is outrunning memory governance — trip at the offending push,
+  // not as an OOM minutes later. Compiled out of release builds entirely.
+  void set_depth_bound(std::size_t bound) {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth_bound_ = bound;
+  }
+  std::size_t depth_hwm() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_hwm_;
+  }
+#endif
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+#ifdef IMR_SANITIZE_BUILD
+  std::size_t depth_bound_ = 0;
+  std::size_t depth_hwm_ = 0;
+#endif
 };
 
 }  // namespace imr

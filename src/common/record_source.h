@@ -1,0 +1,40 @@
+// RecordSource — a pull cursor over one sorted run of records.
+//
+// Lives in common (not mapreduce) so both ends of the out-of-core record
+// path can meet at it: the dfs layer implements it over spill-run files
+// (SpillSet::sources) and the mapreduce layer merges implementations with a
+// loser tree (shuffle_util::MergeCursor) without either depending on the
+// other.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace imr {
+
+// next() MOVES the next record into `out` and returns false once the run is
+// exhausted (after which it keeps returning false).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual bool next(KV& out) = 0;
+};
+
+// Streams a sorted KVVec, moving records out of the donated buffer.
+class VecSource : public RecordSource {
+ public:
+  explicit VecSource(KVVec& records) : records_(&records) {}
+  bool next(KV& out) override {
+    if (pos_ >= records_->size()) return false;
+    out = std::move((*records_)[pos_++]);
+    return true;
+  }
+
+ private:
+  KVVec* records_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace imr

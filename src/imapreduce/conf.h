@@ -121,6 +121,16 @@ struct IterJobConf {
   // sorted-reduce contract makes arrival order invisible to results.
   bool aggregated_shuffle = false;
 
+  // Memory governance (DESIGN.md §10): per-task byte budget for held record
+  // buffers and arena scratch. 0 = unlimited — byte-for-byte today's
+  // behavior. When set, a task whose buffers overflow the budget sorts them
+  // and spills a run to MiniDfs (TrafficCategory::kSpill), and the reduce
+  // streams a k-way merge over its runs instead of materializing everything;
+  // output stays byte-identical to the unlimited run. Requires
+  // deterministic_reduce: the spill path sorts runs with the value-sorting
+  // comparator, and only that contract makes spill boundaries invisible.
+  int64_t max_task_memory_bytes = 0;
+
   Params params;
   bool deterministic_reduce = true;
 
@@ -164,6 +174,15 @@ struct IterJobConf {
     }
     if (partitioner && partitioner->num_partitions() == 0) {
       throw ConfigError("partitioner has zero partitions");
+    }
+    if (max_task_memory_bytes < 0) {
+      throw ConfigError("max_task_memory_bytes must be >= 0 (0 = unlimited)");
+    }
+    if (max_task_memory_bytes > 0 && !deterministic_reduce) {
+      throw ConfigError(
+          "max_task_memory_bytes needs deterministic_reduce: spilled runs "
+          "are value-sorted, and only the sorted reduce hides the spill "
+          "boundaries");
     }
   }
 };

@@ -10,10 +10,12 @@
 
 #include "cluster/placement.h"
 #include "cluster/task_context.h"
+#include "common/arena.h"
 #include "common/codec.h"
 #include "common/hash.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "dfs/spill.h"
 #include "imapreduce/control.h"
 #include "imapreduce/static_store.h"
 #include "mapreduce/shuffle_util.h"
@@ -45,8 +47,21 @@ class TaskEmitter : public IterEmitter {
       sketch_->offer(key);
       (*partition_counts_)[p] += 1;
     }
+    if (track_held_) held_bytes_ += key.size() + value.size() + 8;
     buffers_[p].emplace_back(std::move(key), std::move(value));
     ++emitted_;
+  }
+
+  // Memory governance (DESIGN.md §10): wire bytes currently held across the
+  // partition buffers, maintained incrementally. Off (zero probes on emit)
+  // unless the owning task runs under a budget; the task adjusts the count
+  // whenever it ships, combines, or spills a buffer.
+  void set_track_held(bool on) { track_held_ = on; }
+  bool tracking_held() const { return track_held_; }
+  std::size_t held_bytes() const { return held_bytes_; }
+  void add_held(std::size_t bytes) { held_bytes_ += bytes; }
+  void sub_held(std::size_t bytes) {
+    held_bytes_ -= bytes < held_bytes_ ? bytes : held_bytes_;
   }
 
   // Telemetry hot-key profiling: every emitted key feeds the sketch and the
@@ -69,6 +84,7 @@ class TaskEmitter : public IterEmitter {
   void clear() {
     for (auto& b : buffers_) b.clear();
     for (auto& b : aux_buffers_) b.clear();
+    held_bytes_ = 0;
   }
 
  private:
@@ -78,6 +94,19 @@ class TaskEmitter : public IterEmitter {
   int64_t emitted_ = 0;
   SpaceSaving* sketch_ = nullptr;
   std::vector<int64_t>* partition_counts_ = nullptr;
+  bool track_held_ = false;
+  std::size_t held_bytes_ = 0;
+};
+
+// Reports the budget's high-water mark to the cluster gauge when the owning
+// task exits, whatever the exit path (terminate, rollback unwind, injected
+// crash). One gauge across all tasks: the LARGEST per-task footprint.
+struct BudgetHwmGuard {
+  MetricsRegistry& metrics;
+  const MemoryBudget& budget;
+  ~BudgetHwmGuard() {
+    if (budget.hwm() > 0) metrics.gauge_max("imr_arena_hwm", budget.hwm());
+  }
 };
 
 // Reduce-side emitter: plain collection; side() feeds nothing here (the
@@ -715,6 +744,75 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
 
   TaskEmitter emitter(T_, num_aux, conf_.partitioner.get());
 
+  // Memory governance (DESIGN.md §10): the budget covers the held shuffle
+  // buffers plus the sort arena scratch. Map-side spilling stays off under
+  // the aggregated exchange — remote output is held to the barrier by design
+  // there, and pushing it through spill files would move the same bytes
+  // twice without lowering the barrier-frame peak.
+  MemoryBudget budget(conf_.max_task_memory_bytes);
+  RecordArena arena(&budget);
+  SpillSet spills(cluster_.dfs(), cluster_.metrics(),
+                  strprintf("%s/m%d-t%d-g%d", tag_.c_str(), p, i, gen),
+                  ctx.worker());
+  BudgetHwmGuard hwm_guard{cluster_.metrics(), budget};
+  const bool map_budgeted = budget.limited() && !conf_.aggregated_shuffle;
+  emitter.set_track_held(map_budgeted);
+  int64_t held_charged = 0;
+  auto sync_budget = [&] {
+    const int64_t held = static_cast<int64_t>(emitter.held_bytes());
+    if (held > held_charged) {
+      budget.charge(held - held_charged);
+    } else {
+      budget.release(held_charged - held);
+    }
+    held_charged = held;
+  };
+  // Over-budget map-side spill: sort (and pre-combine, when the phase has a
+  // combiner) every held partition buffer and write each as a run on that
+  // partition's stream; the final flush replays them as ordinary shuffle
+  // batches ahead of the tail. Returns true when an injected crash killed
+  // the task mid-spill.
+  auto map_spill = [&](int iter) -> bool {
+    if (!map_budgeted) return false;
+    sync_budget();
+    if (!budget.over()) return false;
+    TraceSpan spill_span("spill_write", ctx.vt(), iter, gen);
+    bool wrote = false;
+    for (int r = 0; r < T_; ++r) {
+      KVVec& buf = emitter.buffers()[static_cast<std::size_t>(r)];
+      if (buf.empty()) continue;
+      emitter.sub_held(wire_size(buf));
+      {
+        ThreadCpuTimer sort_cpu;
+        sort_records(buf, /*sort_values=*/true, arena);
+        ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+      }
+      if (combiner) {
+        // Budgeted jobs imply deterministic_reduce (conf validation), so the
+        // sorted combine path is always the right one here.
+        TraceSpan combine_span("combine", ctx.vt(), iter, gen);
+        ThreadCpuTimer cpu;
+        combine_sorted(buf, combine_body);
+        ctx.charge_compute(cpu.elapsed_ns());
+      }
+      // Injection point: died between sorting a run and registering it — the
+      // torn half-file IS registered, so this task's unwind drops it and the
+      // spill ledger stays balanced.
+      if (cluster_.consume_fault(ctx.worker(), FaultPoint::kSpillWrite, iter,
+                                 &ctx.vt())) {
+        spills.write_torn_run(r, std::move(buf), &ctx.vt());
+        fail_task(ctx, i, iter, gen);
+        return true;
+      }
+      spills.write_run(r, std::move(buf), &ctx.vt());
+      buf = KVVec{};
+      wrote = true;
+    }
+    sync_budget();
+    if (wrote) cluster_.metrics().inc("imr_map_spills");
+    return false;
+  };
+
   // Telemetry hot-key profile of this task's shuffle output: a SpaceSaving
   // sketch plus exact per-partition emit counts, handed to the cluster
   // ledger on EVERY exit path (the guard covers injected-crash returns and
@@ -797,6 +895,21 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       uint32_t count = 0;
     };
     std::map<int, AggBatch> coalesced;  // dest worker -> batch
+    // Runs spilled earlier in the iteration ship first — they hold the
+    // iteration's OLDEST records, and each run travels as its own batch.
+    // (Map-side spilling is inactive under the aggregated exchange, so these
+    // always stream directly to their partition.)
+    if (final_flush && spills.total_runs() > 0) {
+      for (int r = 0; r < T_; ++r) {
+        while (spills.has_runs(r)) {
+          KVVec run = spills.take_run(r, &ctx.vt());
+          if (!run.empty()) {
+            send_batch(ctx, red_row.at(r), std::move(run), i, iter, gen,
+                       TrafficCategory::kShuffle);
+          }
+        }
+      }
+    }
     if (agg && final_flush) {
       // The barrier frame is also this map's iteration-EOS for every reduce
       // on the destination worker (each sibling mailbox receives the one
@@ -827,11 +940,13 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
         // Combine before shipping, through the shared shuffle_util path:
         // sorted run-length grouping when deterministic_reduce pins the
         // order, hash aggregation (no sort) otherwise.
+        const std::size_t pre_combine =
+            emitter.tracking_held() ? wire_size(buf) : 0;
         TraceSpan combine_span("combine", ctx.vt(), iter, gen);
         if (conf_.deterministic_reduce) {
           {
             ThreadCpuTimer sort_cpu;
-            sort_records(buf, /*sort_values=*/true);
+            sort_records(buf, /*sort_values=*/true, arena);
             ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
           }
           ThreadCpuTimer cpu;
@@ -841,6 +956,10 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
           ThreadCpuTimer cpu;
           combine_hashed(buf, combine_body);
           ctx.charge_compute(cpu.elapsed_ns());
+        }
+        if (emitter.tracking_held()) {
+          emitter.sub_held(pre_combine);
+          emitter.add_held(wire_size(buf));
         }
       }
       if (held_remote) {
@@ -856,6 +975,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
         buf = KVVec{};
         continue;
       }
+      if (emitter.tracking_held()) emitter.sub_held(wire_size(buf));
       send_batch(ctx, red_row.at(r), std::move(buf), i, iter, gen,
                  TrafficCategory::kShuffle);
       buf = KVVec{};
@@ -961,6 +1081,26 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
       have_pending = false;
       if (one2all) {
         process_one2all(pending);
+      } else if (conf_.max_task_memory_bytes > 0) {
+        // The whole-state map (phase-0 start, rollback reload) would hold
+        // its entire output until the iteration flush; under a budget,
+        // process it in shuffle-batch slices so the governor can ship or
+        // spill between them, exactly like the eager streaming path below.
+        const std::size_t slice =
+            static_cast<std::size_t>(std::max(conf_.buffer_records, 1));
+        KVVec chunk;
+        for (std::size_t off = 0; off < pending.size(); off += slice) {
+          const auto end =
+              pending.begin() +
+              static_cast<std::ptrdiff_t>(std::min(pending.size(), off + slice));
+          chunk.assign(
+              std::make_move_iterator(pending.begin() +
+                                      static_cast<std::ptrdiff_t>(off)),
+              std::make_move_iterator(end));
+          process_one2one_batch(chunk);
+          flush_buffers(k, /*final_flush=*/false);
+          if (map_spill(k)) return;
+        }
       } else {
         process_one2one_batch(pending);
       }
@@ -1077,6 +1217,7 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
         // in place.
         process_one2one_batch(msg->records());
         flush_buffers(k, /*final_flush=*/false);
+        if (map_spill(k)) return;
       }
     }
 
@@ -1099,6 +1240,8 @@ void JobRun::run_map(int p, int i, int gen, int start_iter, int64_t start_vt,
                                                 : " rollback to ")
                 << rollback_to << " gen " << gen;
       emitter.clear();
+      spills.abandon();
+      sync_budget();
       k = rollback_to + 1;
       go_allowed = k;
       if (is_phase0) {
@@ -1178,6 +1321,18 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
   std::unique_ptr<IterReducer> reducer = ph.reducer();
   reducer->configure(conf_.params);
 
+  // Memory governance (DESIGN.md §10): collected shuffle input is charged
+  // against the budget as it arrives. Overflowing sorts the buffer and
+  // spills it to MiniDfs as a run; iteration processing then streams a k-way
+  // merge over the runs plus the in-memory tail instead of materializing
+  // the whole input — byte-identical output either way.
+  MemoryBudget budget(conf_.max_task_memory_bytes);
+  RecordArena arena(&budget);
+  SpillSet spills(cluster_.dfs(), cluster_.metrics(),
+                  strprintf("%s/r%d-t%d-g%d", tag_.c_str(), p, i, gen),
+                  ctx.worker());
+  BudgetHwmGuard hwm_guard{cluster_.metrics(), budget};
+
   // Previous-iteration state for distance + checkpoints + final dump
   // (§3.1.2: "the reduce tasks save the output from two consecutive
   // iterations and calculate the distance").
@@ -1247,6 +1402,36 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                TrafficCategory::kReduceToMap);
     }
     KVVec records;
+    int64_t held = 0;  // budget charge for `records`, released on spill/use
+    // Sorts the collected prefix and writes it out as one spill run on
+    // stream 0. Returns true when an injected crash killed the task
+    // mid-spill (the torn half-run is registered, so the unwind drops it).
+    auto spill_collected = [&]() -> bool {
+      {
+        TraceSpan spill_span("spill_write", ctx.vt(), k, gen);
+        {
+          ThreadCpuTimer sort_cpu;
+          sort_records(records, conf_.deterministic_reduce, arena);
+          ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
+        }
+        if (cluster_.consume_fault(ctx.worker(), FaultPoint::kSpillWrite, k,
+                                   &ctx.vt())) {
+          spills.write_torn_run(0, std::move(records), &ctx.vt());
+          fail_task(ctx, i, k, gen);
+          return true;
+        }
+        spills.write_run(0, std::move(records), &ctx.vt());
+      }
+      records = KVVec{};
+      budget.release(held);
+      held = 0;
+      cluster_.metrics().inc("imr_reduce_spills");
+      return false;
+    };
+    auto charge_collected = [&](std::size_t bytes) {
+      budget.charge(static_cast<int64_t>(bytes));
+      held += static_cast<int64_t>(bytes);
+    };
     int eos_seen = 0;
     int rollback_to = -1;
     LoopEvent event = LoopEvent::kIterationReady;
@@ -1356,6 +1541,14 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
           IMR_CHECK(begin <= end && end <= all.size());
           records.insert(records.end(), all.begin() + begin,
                          all.begin() + end);
+          if (budget.limited()) {
+            std::size_t sliced = 0;
+            for (uint32_t x = begin; x < end; ++x) sliced += all[x].wire_size();
+            charge_collected(sliced);
+          }
+        }
+        if (budget.over() && !records.empty()) {
+          if (spill_collected()) return;
         }
         ++eos_seen;
         IMR_DEBUG << tag_ << ": reduce " << p << "/" << i << " gen " << gen
@@ -1363,12 +1556,20 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                   << T_ << " from " << msg->from_task;
       } else {
         KVVec batch = msg->take_records();
+        const std::size_t batch_bytes =
+            budget.limited() ? wire_size(batch) : 0;
         if (records.empty()) {
           records = std::move(batch);
         } else {
           records.insert(records.end(),
                          std::make_move_iterator(batch.begin()),
                          std::make_move_iterator(batch.end()));
+        }
+        if (budget.limited()) {
+          charge_collected(batch_bytes);
+          if (budget.over() && !records.empty()) {
+            if (spill_collected()) return;
+          }
         }
       }
     }
@@ -1401,6 +1602,9 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
                 << (event == LoopEvent::kResume ? " resume after "
                                                 : " rollback to ")
                 << rollback_to << " gen " << gen;
+      spills.abandon();
+      budget.release(held);
+      held = 0;
       k = rollback_to + 1;
       allowed = k;
       if (event == LoopEvent::kResume) {
@@ -1429,10 +1633,14 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     // would be useless for balancing — every reduce waits on the globally
     // slowest map, so wall times are nearly identical across workers.
     prev_end_vt = ctx.vt().now_ns();
+    const bool spilled = spills.has_runs(0);
     {
+      // With spilled runs, `records` is the in-memory TAIL: sorted here with
+      // the same comparator the runs were sorted with, it becomes the merge's
+      // last source.
       TraceSpan sort_span("sort", ctx.vt(), k, gen);
       ThreadCpuTimer sort_cpu;
-      sort_records(records, conf_.deterministic_reduce);
+      sort_records(records, conf_.deterministic_reduce, arena);
       ctx.charge_compute(sort_cpu.elapsed_ns(), TimeCategory::kSort);
     }
 
@@ -1476,17 +1684,15 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
     int64_t changed_count = 0;
     static const Bytes kNoPrev;
     ThreadCpuTimer cpu;
-    // Zero-copy grouping: the cursor walks key runs in place and the values
-    // adapter MOVES each run's values out of `records` (consumed by this
-    // pass) instead of deep-copying them per group.
-    GroupCursor groups(records);
-    GroupValues group_vals;
     KVVec produced;
-    while (groups.next()) {
+    // Per-group body shared by the in-memory cursor and the spilled-merge
+    // stream — one body is what keeps budgeted output byte-identical to the
+    // unlimited run (same groups, same order, same batching thresholds).
+    auto reduce_group = [&](const Bytes& group_key,
+                            const std::vector<Bytes>& group_values) {
       produced.clear();
       CollectEmitter group_emitter(produced);
-      reducer->reduce(groups.key(), group_vals.take(records, groups),
-                      group_emitter);
+      reducer->reduce(group_key, group_values, group_emitter);
       for (KV& kv : produced) {
         if (workset) {
           // Reconcile against the previous state. Only keys whose merged
@@ -1526,8 +1732,51 @@ void JobRun::run_reduce(int p, int i, int gen, int start_iter,
         ship_batch(std::move(pending_batch));
         pending_batch = KVVec{};
       }
+    };
+    if (!spilled) {
+      // Zero-copy grouping: the cursor walks key runs in place and the
+      // values adapter MOVES each run's values out of `records` (consumed by
+      // this pass) instead of deep-copying them per group.
+      GroupCursor groups(records);
+      GroupValues group_vals;
+      while (groups.next()) {
+        reduce_group(groups.key(), group_vals.take(records, groups));
+      }
+    } else {
+      // Out-of-core path (DESIGN.md §10): stream the k-way merge over the
+      // spilled runs plus the sorted in-memory tail. Each source is sorted
+      // with the same comparator and the cursor breaks ties by source index
+      // in write order, so the merged stream IS sort_records() of the full
+      // input — groups arrive in the same order with the same values, never
+      // materializing more than one group plus k read-ahead chunks.
+      auto run_cursors = spills.sources(0, &ctx.vt());
+      std::vector<RecordSource*> cursors;
+      cursors.reserve(run_cursors.size() + 1);
+      for (const auto& c : run_cursors) cursors.push_back(c.get());
+      VecSource tail(records);
+      cursors.push_back(&tail);
+      MergeCursor merge(cursors,
+                        /*compare_values=*/conf_.deterministic_reduce);
+      KV rec;
+      Bytes group_key;
+      std::vector<Bytes> group_values;
+      bool in_group = false;
+      while (merge.next(rec)) {
+        if (!in_group || rec.key != group_key) {
+          if (in_group) reduce_group(group_key, group_values);
+          group_key = std::move(rec.key);
+          group_values.clear();
+          in_group = true;
+        }
+        group_values.push_back(std::move(rec.value));
+      }
+      if (in_group) reduce_group(group_key, group_values);
+      spills.consume(0);
+      cluster_.metrics().inc("imr_reduce_merges");
     }
     ctx.charge_compute(cpu.elapsed_ns());
+    budget.release(held);
+    held = 0;
     // Injection point: died mid reduce->map push — earlier batches of this
     // iteration are already out, the tail and all EOS markers are not.
     if (cluster_.consume_fault(ctx.worker(), FaultPoint::kStatePush, k,
@@ -2373,6 +2622,17 @@ RunReport JobRun::finish() {
   // Checkpoints are recovery-scoped; a job garbage-collects its own
   // (including any torn part a mid-write crash left behind).
   cluster_.dfs().remove_prefix("ckpt/" + tag_ + "/");
+  // Spill runs are task-scoped and every SpillSet abandons its remainder on
+  // destruction, so with all task threads joined nothing should be left.
+  // Sweep defensively anyway, keeping the ledger balanced (invariant 11).
+  for (const std::string& path : cluster_.dfs().list("spill/" + tag_ + "/")) {
+    cluster_.metrics().inc(
+        "imr_spill_bytes_dropped",
+        static_cast<int64_t>(cluster_.dfs().file_bytes(path)));
+    cluster_.metrics().inc("imr_spill_runs_dropped");
+    cluster_.metrics().inc("imr_spill_leaks");
+  }
+  cluster_.dfs().remove_prefix("spill/" + tag_ + "/");
 
   {
     std::lock_guard<std::mutex> lock(error_mu_);
@@ -2405,6 +2665,11 @@ RunReport JobRun::finish() {
                          &rt.partition_records, &rt.skew);
     rt.static_bytes_per_task = led.static_bytes_per_task();
     for (int64_t b : rt.static_bytes_per_task) rt.static_bytes += b;
+    rt.spill_bytes_written = cluster_.metrics().count("imr_spill_bytes_written");
+    rt.spill_bytes_read = cluster_.metrics().count("imr_spill_bytes_read");
+    rt.spill_bytes_dropped = cluster_.metrics().count("imr_spill_bytes_dropped");
+    rt.spill_runs = cluster_.metrics().count("imr_spill_runs_written");
+    rt.arena_hwm = cluster_.metrics().gauge("imr_arena_hwm");
     TelemetryRecorder::instance().append(std::move(rt));
   }
   if (job_span_) job_span_->end();

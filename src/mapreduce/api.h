@@ -79,6 +79,12 @@ struct JobConf {
   // Sort values within each key group before reducing, making floating-point
   // accumulation independent of shuffle arrival order.
   bool deterministic_reduce = true;
+  // Memory governance (DESIGN.md §10): per-reduce-task byte budget for the
+  // collected shuffle input. 0 = unlimited (today's behavior). When set,
+  // over-budget input is sorted and spilled to MiniDfs as runs and the group
+  // pass streams a k-way merge over runs + in-memory tail — byte-identical
+  // output. Requires deterministic_reduce.
+  int64_t max_task_memory_bytes = 0;
 
   // Convenience for the common single-input case.
   void set_input(std::string path, MapperFactory mapper) {

@@ -21,7 +21,9 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
+#include "common/record_source.h"
 #include "mapreduce/api.h"
 
 namespace imr {
@@ -31,6 +33,51 @@ namespace imr {
 // Key-only sorting is stable; full sorting breaks exact (key, value) ties by
 // original position, so the result is deterministic in both modes.
 void sort_records(KVVec& records, bool sort_values);
+
+// Arena-backed variant: the (prefix, index) order array comes from `arena`
+// (reset first — the scratch is dead after the call) and the permutation is
+// applied in place by cycle rotation, so the sort allocates nothing from the
+// global heap once the arena's blocks are pooled. Byte-identical results to
+// the plain overload.
+void sort_records(KVVec& records, bool sort_values, RecordArena& arena);
+
+// ---------------------------------------------------------------------------
+// Streaming k-way merge over sorted runs (out-of-core reduce, DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+// The RecordSource cursor interface (and VecSource, the in-memory tail
+// source) live in common/record_source.h; dfs spill-run readers implement
+// the same interface (SpillSet::sources).
+//
+// Loser-tree k-way merge. Given sources that are each sorted the way
+// sort_records(run, compare_values) sorts — and whose records were split
+// from one logical buffer in arrival order (source 0's records preceded
+// source 1's, ...) — the merged stream is byte-identical to sorting the
+// concatenated buffer: the comparator breaks exact ties by source index,
+// which is precisely the original-position tiebreak sort_records applies.
+// O(log k) compares per record, no buffering beyond one head per source.
+class MergeCursor {
+ public:
+  MergeCursor(std::vector<RecordSource*> sources, bool compare_values);
+
+  // Moves the globally-smallest head into `out`; false when all sources are
+  // exhausted.
+  bool next(KV& out);
+
+ private:
+  bool source_less(int a, int b) const;
+
+  std::vector<RecordSource*> sources_;
+  bool compare_values_;
+  int padded_;              // next_pow2(sources): full-tree leaf count
+  std::vector<KV> heads_;   // current head record per leaf
+  std::vector<char> alive_; // leaf has a head (padding leaves never do)
+  std::vector<int> tree_;   // tree_[0] = winner; tree_[1..] = loser nodes
+};
+
+// Convenience: drains a MergeCursor over `sources` into `out` (appending).
+void merge_sorted_runs(const std::vector<RecordSource*>& sources,
+                       bool compare_values, KVVec& out);
 
 // Iterates a key-sorted buffer as runs of equal keys. Zero-copy: key() and
 // run() reference the underlying records.

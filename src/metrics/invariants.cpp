@@ -225,6 +225,33 @@ std::vector<std::string> InvariantChecker::check(
     }
   }
 
+  // 11. Spill conservation: the out-of-core record path accounts for every
+  // spilled run. Written runs are merged back (read) or explicitly dropped
+  // (rollback GC, torn writes, end-of-run sweep) — never lost or replayed
+  // into the output twice.
+  {
+    int64_t written = metrics_.count("imr_spill_bytes_written");
+    int64_t read = metrics_.count("imr_spill_bytes_read");
+    int64_t dropped = metrics_.count("imr_spill_bytes_dropped");
+    if (written != read + dropped) {
+      fail(strprintf("spill ledger: %lld bytes written != %lld read + %lld "
+                     "dropped",
+                     static_cast<long long>(written),
+                     static_cast<long long>(read),
+                     static_cast<long long>(dropped)));
+    }
+    int64_t runs_written = metrics_.count("imr_spill_runs_written");
+    int64_t runs_read = metrics_.count("imr_spill_runs_read");
+    int64_t runs_dropped = metrics_.count("imr_spill_runs_dropped");
+    if (runs_written != runs_read + runs_dropped) {
+      fail(strprintf("spill ledger: %lld runs written != %lld read + %lld "
+                     "dropped",
+                     static_cast<long long>(runs_written),
+                     static_cast<long long>(runs_read),
+                     static_cast<long long>(runs_dropped)));
+    }
+  }
+
   return violations;
 }
 

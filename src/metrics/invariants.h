@@ -46,7 +46,12 @@
 //      its per-category cell sums equal the registry's Fig-11 totals
 //      exactly: bytes, off-diagonal (remote) bytes, and message counts all
 //      balance, so the placement-advice matrix never invents or loses a
-//      byte relative to the audited counters.
+//      byte relative to the audited counters;
+//  11. spill conservation   — every byte (and every run) spilled to MiniDfs
+//      by the out-of-core record path is either merged back or explicitly
+//      dropped: written == read + dropped, for bytes and for run counts.
+//      Dropped covers rollback GC, torn writes, and end-of-run sweeps — a
+//      run that silently vanishes (or is merged twice) breaks the ledger.
 #pragma once
 
 #include <cstdint>

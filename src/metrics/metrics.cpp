@@ -18,6 +18,7 @@ const char* traffic_category_name(TrafficCategory c) {
     case TrafficCategory::kCheckpoint: return "checkpoint";
     case TrafficCategory::kControl: return "control";
     case TrafficCategory::kShuffleAgg: return "shuffle_agg";
+    case TrafficCategory::kSpill: return "spill";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ const char* traffic_inflight_counter_name(TrafficCategory c) {
     case TrafficCategory::kCheckpoint: return "inflight_checkpoint";
     case TrafficCategory::kControl: return "inflight_control";
     case TrafficCategory::kShuffleAgg: return "inflight_shuffle_agg";
+    case TrafficCategory::kSpill: return "inflight_spill";
   }
   return "inflight_?";
 }
@@ -156,6 +158,23 @@ std::map<std::string, int64_t> MetricsRegistry::named_counters() const {
   return merged;
 }
 
+void MetricsRegistry::gauge_max(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  int64_t& slot = gauges_[name];
+  if (value > slot) slot = value;
+}
+
+int64_t MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  return gauges_;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(hist_mu_);
   auto& slot = hists_[name];
@@ -196,6 +215,15 @@ std::string MetricsRegistry::report() const {
     }
   }
   {
+    std::lock_guard<std::mutex> lock(gauge_mu_);
+    if (!gauges_.empty()) {
+      os << "gauges (high-water marks):\n";
+      for (const auto& [name, v] : gauges_) {
+        os << "  " << name << ": " << v << "\n";
+      }
+    }
+  }
+  {
     std::lock_guard<std::mutex> lock(hist_mu_);
     bool any = false;
     for (const auto& [name, h] : hists_) {
@@ -225,6 +253,10 @@ void MetricsRegistry::reset() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counts.clear();
   }
+  {
+    std::lock_guard<std::mutex> lock(gauge_mu_);
+    gauges_.clear();
+  }
   // Histogram ENTRIES survive a reset (hot call sites cache the pointers);
   // only the recorded contents are cleared.
   std::lock_guard<std::mutex> lock(hist_mu_);
@@ -239,6 +271,7 @@ void RunReport::capture(const MetricsRegistry& m) {
   checkpoint_bytes = m.traffic_bytes(TrafficCategory::kCheckpoint);
   control_bytes = m.traffic_bytes(TrafficCategory::kControl);
   shuffle_agg_bytes = m.traffic_bytes(TrafficCategory::kShuffleAgg);
+  spill_bytes = m.traffic_bytes(TrafficCategory::kSpill);
   dfs_read_bytes = m.traffic_bytes(TrafficCategory::kDfsRead);
   dfs_write_bytes = m.traffic_bytes(TrafficCategory::kDfsWrite);
   shuffle_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kShuffle);
@@ -250,6 +283,7 @@ void RunReport::capture(const MetricsRegistry& m) {
   control_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kControl);
   shuffle_agg_remote_bytes =
       m.traffic_remote_bytes(TrafficCategory::kShuffleAgg);
+  spill_remote_bytes = m.traffic_remote_bytes(TrafficCategory::kSpill);
   job_init_time = m.time(TimeCategory::kJobInit);
   task_init_time = m.time(TimeCategory::kTaskInit);
   network_time = m.time(TimeCategory::kNetwork);
@@ -269,6 +303,7 @@ void RunReport::subtract(const RunReport& base) {
   checkpoint_bytes -= base.checkpoint_bytes;
   control_bytes -= base.control_bytes;
   shuffle_agg_bytes -= base.shuffle_agg_bytes;
+  spill_bytes -= base.spill_bytes;
   dfs_read_bytes -= base.dfs_read_bytes;
   dfs_write_bytes -= base.dfs_write_bytes;
   shuffle_remote_bytes -= base.shuffle_remote_bytes;
@@ -277,6 +312,7 @@ void RunReport::subtract(const RunReport& base) {
   checkpoint_remote_bytes -= base.checkpoint_remote_bytes;
   control_remote_bytes -= base.control_remote_bytes;
   shuffle_agg_remote_bytes -= base.shuffle_agg_remote_bytes;
+  spill_remote_bytes -= base.spill_remote_bytes;
   job_init_time -= base.job_init_time;
   task_init_time -= base.task_init_time;
   network_time -= base.network_time;

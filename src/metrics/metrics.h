@@ -32,13 +32,15 @@ enum class TrafficCategory {
   kCheckpoint,     // checkpoint dumps (also DFS writes, tracked separately)
   kControl,        // termination / report / migration control messages
   kShuffleAgg,     // aggregated cross-worker shuffle batches (DESIGN.md §9)
+  kSpill,          // budgeted spill runs written to / read from MiniDfs
+                   // (out-of-core record path, DESIGN.md §10)
 };
 
 const char* traffic_category_name(TrafficCategory c);
 // Static-storage counter-track name for the per-category in-flight bytes
 // samples the fabric records into the TraceRecorder ("inflight_shuffle"...).
 const char* traffic_inflight_counter_name(TrafficCategory c);
-inline constexpr int kNumTrafficCategories = 8;
+inline constexpr int kNumTrafficCategories = 9;
 
 // Categories of charged simulated time, used for the Fig. 10 factor
 // decomposition.
@@ -142,6 +144,15 @@ class MetricsRegistry {
   int64_t count(const std::string& name) const;
   std::map<std::string, int64_t> named_counters() const;
 
+  // --- gauges (high-water marks) ---
+  // Named counters are additive across shards; a high-water mark is not.
+  // gauge_max keeps the maximum ever reported under `name` (e.g. the
+  // largest per-task arena footprint, "imr_arena_hwm"). Cold path: tasks
+  // report once at exit.
+  void gauge_max(const std::string& name, int64_t value);
+  int64_t gauge(const std::string& name) const;  // 0 when never reported
+  std::map<std::string, int64_t> gauges() const;
+
   // --- histograms (latency/size distributions) ---
   // Returns the named histogram, registering it on first use. The reference
   // is stable for the registry's lifetime (reset() clears contents, never
@@ -172,6 +183,9 @@ class MetricsRegistry {
   };
   NamedShard& shard_for_this_thread() const;
   mutable NamedShard named_shards_[kNamedShards];
+
+  mutable std::mutex gauge_mu_;
+  std::map<std::string, int64_t> gauges_;
 
   // unique_ptr values keep Histogram references stable across rehashes.
   mutable std::mutex hist_mu_;
@@ -228,12 +242,14 @@ struct RunReport {
   int64_t dfs_read_bytes = 0;
   int64_t dfs_write_bytes = 0;
   int64_t shuffle_agg_bytes = 0;
+  int64_t spill_bytes = 0;
   int64_t shuffle_remote_bytes = 0;
   int64_t reduce_to_map_remote_bytes = 0;
   int64_t broadcast_remote_bytes = 0;
   int64_t checkpoint_remote_bytes = 0;
   int64_t control_remote_bytes = 0;
   int64_t shuffle_agg_remote_bytes = 0;
+  int64_t spill_remote_bytes = 0;
   SimDuration job_init_time{0};
   SimDuration task_init_time{0};
   SimDuration network_time{0};

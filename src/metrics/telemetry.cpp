@@ -453,7 +453,12 @@ void export_run(std::ostream& os, const RunTelemetry& run) {
     if (n > 0) os << ",";
     os << run.static_bytes_per_task[n];
   }
-  os << "]}\n";
+  os << "]";
+  os << ",\"spill\":{\"bytes_written\":" << run.spill_bytes_written
+     << ",\"bytes_read\":" << run.spill_bytes_read
+     << ",\"bytes_dropped\":" << run.spill_bytes_dropped
+     << ",\"runs\":" << run.spill_runs
+     << ",\"arena_hwm\":" << run.arena_hwm << "}}\n";
 }
 
 }  // namespace

@@ -183,6 +183,14 @@ struct RunTelemetry {
   double skew = 0;                 // max / mean of partition_records
   std::vector<HotKey> hot_keys;    // merged across map tasks
   int64_t hot_key_samples = 0;     // N for the N/k error bound
+  // Out-of-core record path (DESIGN.md §10): the spill ledger for this run
+  // (invariant 11: written == read + dropped) and the largest per-task
+  // arena footprint observed.
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  int64_t spill_bytes_dropped = 0;
+  int64_t spill_runs = 0;          // runs written
+  int64_t arena_hwm = 0;           // max per-task arena block bytes
   TrafficMatrixSnapshot matrix;    // cumulative for the cluster
   std::vector<IterTelemetry> iters;
 };

@@ -34,6 +34,13 @@
 //                          coalesced batch per destination worker, flushed at
 //                          the iteration barrier (DESIGN.md §9)
 //   --buffer N             reduce->map send buffer records
+//   --max-memory B         per-task memory budget in bytes, with optional
+//                          k/m/g suffix (binary units, e.g. 64m). Tasks
+//                          whose record buffers overflow the budget sort
+//                          and spill runs to MiniDfs and the reduce streams
+//                          a k-way merge over them — same output bytes,
+//                          bounded footprint (DESIGN.md §10). Default:
+//                          unlimited.
 //   --checkpoint N         checkpoint every N iterations
 //   --balance              enable load balancing
 //   --combiner             enable the map-side combiner (kmeans)
@@ -52,6 +59,7 @@
 //   --points/--dim/--clusters (kmeans), --samples/--lr (logreg),
 //   --n/--density (jacobi), --n (matpower).
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -99,6 +107,8 @@ struct Options {
   std::string partitioner = "hash";  // hash | bfs | file
   std::string partition_file;       // METIS-style assignment for "file"
   bool agg = false;                 // aggregated cross-worker exchange
+  std::string max_memory_raw;  // --max-memory as given; parsed in main
+  int64_t max_memory = 0;      // parsed byte budget; 0 = unlimited
   std::string trace;  // trace export path; empty = no tracing
   std::string telemetry;  // telemetry JSONL export path; empty = disabled
   std::string update_batch;  // graph-edit script; empty = plain run
@@ -125,6 +135,7 @@ Options parse_options(const Flags& flags) {
   o.partitioner = flags.get("partitioner", "hash");
   o.partition_file = flags.get("partition-file", "");
   o.agg = flags.get_bool("agg-exchange");
+  o.max_memory_raw = flags.get("max-memory", "");
   o.update_batch = flags.get("update-batch", "");
   o.trace = flags.get("trace", "");
   if (o.trace.empty()) {
@@ -158,6 +169,28 @@ void apply_common(IterJobConf& conf, const Options& o) {
   conf.checkpoint_every = o.checkpoint;
   conf.load_balancing = o.balance;
   conf.aggregated_shuffle = o.agg;
+  conf.max_task_memory_bytes = o.max_memory;
+}
+
+// Parses a --max-memory byte count: a positive integer with an optional
+// k/m/g suffix (binary units). Rejects zero, negatives, and trailing junk.
+bool parse_memory_bytes(const std::string& s, int64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || v <= 0) return false;
+  int64_t mult = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': mult = int64_t{1} << 10; break;
+      case 'm': mult = int64_t{1} << 20; break;
+      case 'g': mult = int64_t{1} << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  out = static_cast<int64_t>(v) * mult;
+  return true;
 }
 
 // Builds the conf's partitioner from --partitioner/--partition-file (graph
@@ -338,6 +371,14 @@ int main(int argc, char** argv) {
                  "(sssp|pagerank|concomp)\n");
     return 2;
   }
+  if (!o.max_memory_raw.empty() &&
+      !parse_memory_bytes(o.max_memory_raw, o.max_memory)) {
+    std::fprintf(stderr,
+                 "error: --max-memory wants a positive byte count with an "
+                 "optional k/m/g suffix (e.g. 64m, 1g), got '%s'\n",
+                 o.max_memory_raw.c_str());
+    return 2;
+  }
 
   if (!o.trace.empty()) TraceRecorder::instance().enable();
   if (!o.telemetry.empty()) TelemetryRecorder::instance().enable();
@@ -498,6 +539,7 @@ int main(int argc, char** argv) {
         IterJobConf conf = MatPower::imapreduce("data", "out", o.iterations);
         conf.num_tasks = o.tasks;
         conf.buffer_records = o.buffer;
+        conf.max_task_memory_bytes = o.max_memory;
         imr = IterativeEngine(*cluster).run(conf);
       }
     } else {

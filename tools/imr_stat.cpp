@@ -258,10 +258,10 @@ class JsonParser {
 // ---------------------------------------------------------------------------
 // Telemetry model: one run line plus the iter lines that preceded it.
 
-constexpr int kNumCats = 8;
+constexpr int kNumCats = 9;
 const char* const kCatNames[kNumCats] = {
-    "shuffle", "reduce_to_map", "broadcast", "dfs_read",
-    "dfs_write", "checkpoint", "control", "shuffle_agg"};
+    "shuffle", "reduce_to_map", "broadcast", "dfs_read", "dfs_write",
+    "checkpoint", "control", "shuffle_agg", "spill"};
 
 struct Run {
   JValue line;                 // the "run" object
@@ -451,6 +451,33 @@ std::vector<std::string> validate_run(const Run& run) {
   if (static_cast<int64_t>(r.arr_at("static_bytes_per_task").size()) != 0 &&
       static_cast<int64_t>(r.arr_at("static_bytes_per_task").size()) != tasks) {
     bad.push_back("run: static_bytes_per_task length != tasks");
+  }
+
+  // Spill ledger conservation (invariant 11, re-checked offline): every
+  // byte and run written was either read back (merged / replayed) or
+  // dropped (rollback GC, torn writes, end-of-run sweeps).
+  const JValue* spill = r.find("spill");
+  if (spill == nullptr || !spill->is_obj()) {
+    bad.push_back("run: missing \"spill\" object");
+  } else {
+    const int64_t sw = spill->int_at("bytes_written");
+    const int64_t sr = spill->int_at("bytes_read");
+    const int64_t sd = spill->int_at("bytes_dropped");
+    const int64_t runs = spill->int_at("runs");
+    const int64_t hwm = spill->int_at("arena_hwm");
+    if (sw < 0 || sr < 0 || sd < 0 || runs < 0 || hwm < 0) {
+      bad.push_back("run: negative spill counter");
+    }
+    if (sw != sr + sd) {
+      bad.push_back(strprintf(
+          "run: spill ledger not conserved: %lld written != %lld read + "
+          "%lld dropped",
+          static_cast<long long>(sw), static_cast<long long>(sr),
+          static_cast<long long>(sd)));
+    }
+    if (sw > 0 && runs == 0) {
+      bad.push_back("run: spill bytes written but zero runs recorded");
+    }
   }
 
   // Iter lines: fixed-shape arrays, categories all present, straggler in
@@ -752,6 +779,51 @@ void print_run(const Run& run, int top) {
               hb(static_bytes).c_str(), hb(std::max<int64_t>(0, first_state)).c_str(),
               hb(last_state).c_str(), hb(peak_state).c_str(),
               static_cast<long long>(peak_iter));
+
+  // Out-of-core activity (DESIGN.md §10): spill volume, the ledger verdict,
+  // the largest per-task footprint, and the amplification ratio — spilled
+  // bytes over DFS input bytes, i.e. how many extra I/O bytes the budget
+  // cost per input byte (0 = everything fit in memory).
+  const JValue* spill = r.find("spill");
+  if (spill != nullptr && spill->is_obj()) {
+    const int64_t sw = spill->int_at("bytes_written");
+    const int64_t sr = spill->int_at("bytes_read");
+    const int64_t sd = spill->int_at("bytes_dropped");
+    const int64_t runs = spill->int_at("runs");
+    const int64_t hwm = spill->int_at("arena_hwm");
+    if (sw > 0 || hwm > 0) {
+      std::printf("  spill: %s written / %s read / %s dropped over %lld "
+                  "run(s)  %s\n",
+                  hb(sw).c_str(), hb(sr).c_str(), hb(sd).c_str(),
+                  static_cast<long long>(runs),
+                  sw == sr + sd ? "ledger conserved" : "LEDGER MISMATCH");
+      if (hwm > 0) {
+        std::printf("  task memory high-water mark: %s\n", hb(hwm).c_str());
+      }
+      const int64_t input_bytes =
+          sum_matrix(run).bytes[cat_index("dfs_read")];
+      if (sw > 0 && input_bytes > 0) {
+        std::printf("  spill amplification: %.2fx of %s DFS input\n",
+                    static_cast<double>(sw) /
+                        static_cast<double>(input_bytes),
+                    hb(input_bytes).c_str());
+      }
+      // Per-worker spill I/O from the traffic matrix — the workers whose
+      // tasks ran hottest against the budget.
+      std::map<int, int64_t> by_worker;
+      for (const JValue& cell : r.arr_at("matrix")) {
+        if (cell.arr[2].str != "spill") continue;
+        by_worker[static_cast<int>(cell.arr[0].num)] +=
+            static_cast<int64_t>(cell.arr[3].num);
+      }
+      for (const auto& [w, bytes] : by_worker) {
+        if (bytes > 0) {
+          std::printf("    %-6s spill i/o %10s\n", endpoint_name(w).c_str(),
+                      hb(bytes).c_str());
+        }
+      }
+    }
+  }
 }
 
 int usage() {
